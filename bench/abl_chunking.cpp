@@ -1,0 +1,62 @@
+// Ablation: chunking granularity (chunks per thread) for a TBB-like profile
+// on Mach C — the balance-vs-overhead trade-off behind every backend's
+// partitioner choice. Too few chunks: imbalance and poor cancellation; too
+// many: per-chunk scheduling overhead dominates small inputs.
+#include "common.hpp"
+
+namespace pstlb::bench {
+namespace {
+
+sim::kernel_params params(sim::kernel k, double n, double k_it = 1) {
+  sim::kernel_params p;
+  p.kind = k;
+  p.n = n;
+  p.k_it = k_it;
+  return p;
+}
+
+sim::backend_profile with_chunks(double chunks_per_thread) {
+  sim::backend_profile prof = sim::profiles::gcc_tbb();  // copy, then mutate
+  prof.name = "TBB-like/cpt=" + fmt(chunks_per_thread, 0);
+  prof.chunks_per_thread = chunks_per_thread;
+  return prof;
+}
+
+void register_benchmarks() {
+  for (double cpt : {1.0, 16.0, 64.0}) {
+    static std::vector<sim::backend_profile> keep;
+    keep.push_back(with_chunks(cpt));
+    register_sim_benchmark("abl/chunking/for_each/cpt_" + fmt(cpt, 0),
+                           sim::machines::mach_c(), keep.back(),
+                           params(sim::kernel::for_each, kN30), 128);
+  }
+}
+
+void report(std::ostream& os) {
+  const sim::machine& m = sim::machines::mach_c();
+  table t("Ablation: chunks per thread (TBB-like profile, Mach C, 128 threads) "
+          "[seconds]");
+  t.set_header({"chunks/thread", "for_each 2^20 k=1", "for_each 2^30 k=1",
+                "find 2^30", "for_each 2^30 k=1000"});
+  for (double cpt : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0}) {
+    const auto prof = with_chunks(cpt);
+    t.add_row({fmt(cpt, 0),
+               eng(sim::run(m, prof, params(sim::kernel::for_each, 1 << 20), 128).seconds),
+               eng(sim::run(m, prof, params(sim::kernel::for_each, kN30), 128).seconds),
+               eng(sim::run(m, prof, params(sim::kernel::find, kN30), 128).seconds),
+               eng(sim::run(m, prof, params(sim::kernel::for_each, kN30, 1000), 128)
+                       .seconds)});
+  }
+  t.print(os);
+  os << "Reading: small inputs prefer few chunks (per-chunk overhead), the\n"
+        "cancellable find prefers many (finer cancellation granularity =\n"
+        "less overshoot would show with a chunk-dependent overshoot model);\n"
+        "large uniform maps are insensitive — which is why TBB's\n"
+        "auto_partitioner lands near 16 chunks/thread.\n";
+}
+
+}  // namespace
+}  // namespace pstlb::bench
+
+using namespace pstlb::bench;
+PSTLB_BENCH_MAIN(report)

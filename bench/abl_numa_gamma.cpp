@@ -1,0 +1,58 @@
+// Ablation: the NUMA-management decay constant (numa_gamma) — the single
+// most influential calibrated parameter of the simulation (DESIGN.md §5).
+// Sweeping it on each machine shows how unpinned multi-node bandwidth decay
+// alone spans the whole observed backend range of Table 5's for_each column.
+#include "common.hpp"
+
+namespace pstlb::bench {
+namespace {
+
+sim::kernel_params params() {
+  sim::kernel_params p;
+  p.kind = sim::kernel::for_each;
+  p.n = kN30;
+  return p;
+}
+
+sim::backend_profile with_gamma(double gamma) {
+  sim::backend_profile prof = sim::profiles::gcc_tbb();
+  prof.name = "gamma=" + fmt(gamma, 2);
+  prof.tuning_map[sim::kernel::for_each].numa_gamma = gamma;
+  return prof;
+}
+
+void register_benchmarks() {
+  for (double gamma : {0.0, 0.4, 1.6}) {
+    static std::vector<sim::backend_profile> keep;
+    keep.push_back(with_gamma(gamma));
+    register_sim_benchmark("abl/numa_gamma/MachC/gamma_" + fmt(gamma, 2),
+                           sim::machines::mach_c(), keep.back(), params(), 128);
+  }
+}
+
+void report(std::ostream& os) {
+  table t("Ablation: NUMA decay gamma vs for_each k=1 speedup (2^30 elements, "
+          "all cores; machine scale factors A=0.5, B=1.4, C=1.4 apply)");
+  t.set_header({"gamma", "Mach A (2 nodes)", "Mach B (8 nodes)", "Mach C (8 nodes)",
+                "Mach F (1 node, ARM)"});
+  for (double gamma : {0.0, 0.1, 0.2, 0.4, 0.8, 1.6}) {
+    const auto prof = with_gamma(gamma);
+    std::vector<std::string> row{fmt(gamma, 2)};
+    for (const sim::machine* m : sim::machines::cpus_extended()) {
+      row.push_back(
+          fmt(sim::speedup_vs_gcc_seq(*m, prof, params(), m->cores), 1));
+    }
+    t.add_row(row);
+  }
+  t.print(os);
+  os << "Reading: gamma=0.1-0.4 spans the TBB/GNU/NVC range of Table 5;\n"
+        "gamma=1.6 reproduces the HPX collapse; the single-NUMA-domain ARM\n"
+        "machine is insensitive by construction — the paper's Table 6 insight\n"
+        "(backends rarely scale past one node) in one knob.\n";
+}
+
+}  // namespace
+}  // namespace pstlb::bench
+
+using namespace pstlb::bench;
+PSTLB_BENCH_MAIN(report)

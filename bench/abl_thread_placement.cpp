@@ -1,0 +1,66 @@
+// Ablation: thread placement — scatter (the paper's unpinned default) vs
+// compact (OMP_PROC_BIND=close). Explains Table 6's "one NUMA node" limit
+// from the other direction: with few threads, scatter taps several memory
+// controllers while compact saturates one.
+#include "common.hpp"
+
+namespace pstlb::bench {
+namespace {
+
+sim::kernel_params params() {
+  sim::kernel_params p;
+  p.kind = sim::kernel::reduce;
+  p.n = kN30;
+  return p;
+}
+
+double seconds(const sim::machine& m, unsigned threads, sim::thread_placement pl) {
+  return sim::run(m, sim::profiles::gcc_tbb(), params(), threads,
+                  numa::placement::parallel_touch, pl)
+      .seconds;
+}
+
+void register_benchmarks() {
+  for (unsigned t : {8u, 32u}) {
+    for (auto pl : {sim::thread_placement::scatter, sim::thread_placement::compact}) {
+      benchmark::RegisterBenchmark(
+          ("abl/placement/reduce/MachB/t_" + std::to_string(t) +
+           (pl == sim::thread_placement::compact ? "/compact" : "/scatter"))
+              .c_str(),
+          [t, pl](benchmark::State& state) {
+            for (auto _ : state) {
+              state.SetIterationTime(seconds(sim::machines::mach_b(), t, pl));
+            }
+          })
+          ->UseManualTime();
+    }
+  }
+}
+
+void report(std::ostream& os) {
+  for (const sim::machine* m : {&sim::machines::mach_a(), &sim::machines::mach_b()}) {
+    table t("Ablation: thread placement, X::reduce (GCC-TBB profile), " + m->name +
+            " (" + std::to_string(m->numa_nodes) + " NUMA nodes, " +
+            std::to_string(m->cores_per_node()) + " cores/node) [seconds]");
+    t.set_header({"threads", "scatter (unpinned)", "compact (close)",
+                  "scatter advantage"});
+    for (unsigned threads : sim::thread_sweep(m->cores)) {
+      const double scatter = seconds(*m, threads, sim::thread_placement::scatter);
+      const double compact = seconds(*m, threads, sim::thread_placement::compact);
+      t.add_row({std::to_string(threads), eng(scatter), eng(compact),
+                 fmt(compact / scatter, 2) + "x"});
+    }
+    t.print(os);
+  }
+  os << "Reading: below cores-per-node threads, scatter reaches several\n"
+        "memory controllers and wins for bandwidth-bound kernels; at full\n"
+        "machine the placements converge. The paper's unpinned runs behave\n"
+        "like scatter — one reason its memory-bound speedups saturate as soon\n"
+        "as every node has at least one thread (Table 6).\n";
+}
+
+}  // namespace
+}  // namespace pstlb::bench
+
+using namespace pstlb::bench;
+PSTLB_BENCH_MAIN(report)

@@ -1,0 +1,56 @@
+// Shared scaffolding for the per-figure/per-table bench binaries.
+//
+// Figure/table benches are driven by the machine simulator (this container
+// has one core; see DESIGN.md §1): each registered benchmark feeds the
+// simulated seconds to Google Benchmark via manual timing, and after the
+// gbench run the binary prints the figure/table in the paper's layout.
+// The native benchmarks (native_algorithms.cpp) measure real wall time of
+// our own backends instead.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "bench_core/report.hpp"
+#include "sim/run.hpp"
+
+namespace pstlb::bench {
+
+inline constexpr double kN30 = 1073741824.0;  // 2^30, the paper's large size
+
+/// Registers a gbench entry whose iteration time is the simulated seconds of
+/// one kernel call.
+inline void register_sim_benchmark(const std::string& name, const sim::machine& m,
+                                   const sim::backend_profile& prof,
+                                   sim::kernel_params params, unsigned threads) {
+  benchmark::RegisterBenchmark(name.c_str(), [&m, &prof, params,
+                                              threads](benchmark::State& state) {
+    double seconds = 0;
+    for (auto _ : state) {
+      const auto r = sim::run(m, prof, params, threads, sim::paper_alloc_for(prof));
+      seconds = r.supported ? r.seconds : 0.0;
+      state.SetIterationTime(seconds > 0 ? seconds : 1e-9);
+    }
+    state.counters["sim_seconds"] = seconds;
+    state.counters["speedup_vs_gcc_seq"] =
+        seconds > 0 ? sim::gcc_seq_seconds(m, params) / seconds : 0.0;
+  })->UseManualTime();
+}
+
+/// Standard main body: run gbench, then print the paper-layout report.
+#define PSTLB_BENCH_MAIN(report_fn)                                   \
+  int main(int argc, char** argv) {                                   \
+    ::benchmark::Initialize(&argc, argv);                             \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {       \
+      return 1;                                                       \
+    }                                                                 \
+    register_benchmarks();                                            \
+    ::benchmark::RunSpecifiedBenchmarks();                            \
+    ::benchmark::Shutdown();                                          \
+    report_fn(std::cout);                                             \
+    return 0;                                                         \
+  }
+
+}  // namespace pstlb::bench

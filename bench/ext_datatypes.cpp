@@ -1,0 +1,59 @@
+// Extension (paper Section 3.2: "it is possible to change the predefined
+// input sizes and data types"): float (4 B) vs double (8 B) elements for the
+// memory-bound kernels on all three machines. Halving the element size
+// halves the traffic — sequential baselines speed up too, so the *speedup*
+// barely moves, while absolute times halve; this bench shows both.
+#include "common.hpp"
+
+namespace pstlb::bench {
+namespace {
+
+sim::kernel_params params(sim::kernel k, double elem_bytes) {
+  sim::kernel_params p;
+  p.kind = k;
+  p.n = kN30;
+  p.elem_bytes = elem_bytes;
+  return p;
+}
+
+void register_benchmarks() {
+  for (double eb : {4.0, 8.0}) {
+    register_sim_benchmark("ext/datatypes/reduce/MachA/elem_" +
+                               std::to_string(static_cast<int>(eb)) + "B",
+                           sim::machines::mach_a(), sim::profiles::gcc_tbb(),
+                           params(sim::kernel::reduce, eb), 32);
+  }
+}
+
+void report(std::ostream& os) {
+  for (sim::kernel k : {sim::kernel::for_each, sim::kernel::reduce}) {
+    table t("Extension: element-type sweep, X::" + std::string(sim::kernel_name(k)) +
+            ", 2^30 elements, all cores [time double / time float | speedup "
+            "double / speedup float]");
+    t.set_header({"backend", "Mach A", "Mach B", "Mach C"});
+    for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+      std::vector<std::string> row{std::string(prof->name)};
+      for (const sim::machine* m : sim::machines::cpus()) {
+        const auto pd = params(k, 8);
+        const auto pf = params(k, 4);
+        const auto rd = sim::run(*m, *prof, pd, m->cores, sim::paper_alloc_for(*prof));
+        const auto rf = sim::run(*m, *prof, pf, m->cores, sim::paper_alloc_for(*prof));
+        const double sd = sim::gcc_seq_seconds(*m, pd) / rd.seconds;
+        const double sf = sim::gcc_seq_seconds(*m, pf) / rf.seconds;
+        row.push_back(eng(rd.seconds) + "/" + eng(rf.seconds) + " | " + fmt(sd, 1) +
+                      "/" + fmt(sf, 1));
+      }
+      t.add_row(row);
+    }
+    t.print(os);
+  }
+  os << "Expected shape: float halves the absolute times of memory-bound\n"
+        "kernels while speedups move only where the kernel shifts between\n"
+        "compute- and memory-bound regimes.\n";
+}
+
+}  // namespace
+}  // namespace pstlb::bench
+
+using namespace pstlb::bench;
+PSTLB_BENCH_MAIN(report)

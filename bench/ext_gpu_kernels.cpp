@@ -1,0 +1,68 @@
+// Extension: GPU model across the full kernel set (the paper only shows
+// for_each and reduce on the GPUs, Section 5.8 — "the most interesting
+// algorithms for the GPUs"; this bench shows why, by predicting the rest).
+#include "common.hpp"
+
+#include "sim/gpu_engine.hpp"
+
+namespace pstlb::bench {
+namespace {
+
+sim::kernel_params params(sim::kernel k, double n) {
+  sim::kernel_params p;
+  p.kind = k;
+  p.n = n;
+  p.elem_bytes = 4;
+  return p;
+}
+
+double gpu_seconds(const sim::gpu& dev, sim::kernel k, double n, bool resident) {
+  sim::gpu_config c;
+  c.device = &dev;
+  c.params = params(k, n);
+  c.data_on_device = resident;
+  c.transfer_back = !resident;
+  return sim::simulate_gpu(c).seconds;
+}
+
+void register_benchmarks() {
+  for (sim::kernel k : {sim::kernel::sort, sim::kernel::inclusive_scan}) {
+    benchmark::RegisterBenchmark(
+        ("ext/gpu/" + std::string(sim::kernel_name(k)) + "/MachD/resident").c_str(),
+        [k](benchmark::State& state) {
+          for (auto _ : state) {
+            state.SetIterationTime(
+                gpu_seconds(sim::machines::mach_d(), k, 1 << 26, true));
+          }
+        })
+        ->UseManualTime();
+  }
+}
+
+void report(std::ostream& os) {
+  table t("Extension: GPU (Mach D, Tesla T4) vs 32-thread CPU (Mach A, GCC-TBB "
+          "profile), 2^26 floats, device-resident data [seconds; CPU/GPU ratio]");
+  t.set_header({"kernel", "CPU 32t", "GPU resident", "GPU w/ transfers", "ratio"});
+  for (sim::kernel k :
+       {sim::kernel::for_each, sim::kernel::reduce, sim::kernel::copy,
+        sim::kernel::transform, sim::kernel::inclusive_scan, sim::kernel::sort}) {
+    const double cpu = sim::run(sim::machines::mach_a(), sim::profiles::gcc_tbb(),
+                                params(k, 1 << 26), 32)
+                           .seconds;
+    const double gpu_resident = gpu_seconds(sim::machines::mach_d(), k, 1 << 26, true);
+    const double gpu_transfer = gpu_seconds(sim::machines::mach_d(), k, 1 << 26, false);
+    t.add_row({std::string(sim::kernel_name(k)), eng(cpu), eng(gpu_resident),
+               eng(gpu_transfer), fmt(cpu / gpu_resident, 1) + "x"});
+  }
+  t.print(os);
+  os << "Reading: streaming kernels enjoy the device bandwidth (264 vs 135\n"
+        "GB/s) once resident; sort/scan win less (serial chains, multi-pass\n"
+        "traffic); with per-call transfers the PCIe/UM path dominates all of\n"
+        "them — the paper's 'chain operations on the GPU' recommendation.\n";
+}
+
+}  // namespace
+}  // namespace pstlb::bench
+
+using namespace pstlb::bench;
+PSTLB_BENCH_MAIN(report)

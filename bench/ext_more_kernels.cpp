@@ -1,0 +1,66 @@
+// Extension: the suite beyond the paper's five analyzed kernels — copy,
+// transform, count, min_element and exclusive_scan across the three paper
+// machines (the "extensible set of micro-benchmarks" claim of
+// contribution (1)).
+#include "common.hpp"
+
+namespace pstlb::bench {
+namespace {
+
+const std::vector<sim::kernel>& extra_kernels() {
+  static const std::vector<sim::kernel> list{
+      sim::kernel::copy, sim::kernel::transform, sim::kernel::count,
+      sim::kernel::min_element, sim::kernel::exclusive_scan};
+  return list;
+}
+
+sim::kernel_params params(sim::kernel k) {
+  sim::kernel_params p;
+  p.kind = k;
+  p.n = kN30;
+  return p;
+}
+
+void register_benchmarks() {
+  for (sim::kernel k : extra_kernels()) {
+    register_sim_benchmark("ext/kernels/" + std::string(sim::kernel_name(k)) +
+                               "/MachA/GCC-TBB",
+                           sim::machines::mach_a(), sim::profiles::gcc_tbb(),
+                           params(k), 32);
+  }
+}
+
+void report(std::ostream& os) {
+  table t("Extension: additional kernels, speedup vs GCC-SEQ at full cores "
+          "(Mach A | Mach B | Mach C), 2^30 elements");
+  std::vector<std::string> header{"backend"};
+  for (sim::kernel k : extra_kernels()) {
+    header.push_back("X::" + std::string(sim::kernel_name(k)));
+  }
+  t.set_header(header);
+  for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+    std::vector<std::string> row{std::string(prof->name)};
+    for (sim::kernel k : extra_kernels()) {
+      auto cell = [&](const sim::machine& m) {
+        const auto r = sim::run(m, *prof, params(k), m.cores,
+                                sim::paper_alloc_for(*prof));
+        if (!r.supported) { return -1.0; }
+        return sim::gcc_seq_seconds(m, params(k)) / r.seconds;
+      };
+      row.push_back(triple(cell(sim::machines::mach_a()), cell(sim::machines::mach_b()),
+                           cell(sim::machines::mach_c())));
+    }
+    t.add_row(row);
+  }
+  t.print(os);
+  os << "Expected shape: copy/transform behave like for_each k=1 (streaming,\n"
+        "write-allocate bound); count/min_element like reduce (read-only);\n"
+        "exclusive_scan mirrors inclusive_scan including the GNU N/A and the\n"
+        "NVC sequential fallback.\n";
+}
+
+}  // namespace
+}  // namespace pstlb::bench
+
+using namespace pstlb::bench;
+PSTLB_BENCH_MAIN(report)

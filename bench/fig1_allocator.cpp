@@ -1,0 +1,69 @@
+// Figure 1: speedup of the custom parallel allocator vs the default
+// allocator, Mach A (Skylake), 32 threads, 2^30 elements, all kernels and
+// backends. Higher is better; >1 means the custom allocator wins.
+#include "common.hpp"
+
+namespace pstlb::bench {
+namespace {
+
+const std::vector<sim::kernel>& kernels() {
+  static const std::vector<sim::kernel> list{
+      sim::kernel::find, sim::kernel::for_each, sim::kernel::reduce,
+      sim::kernel::inclusive_scan, sim::kernel::sort};
+  return list;
+}
+
+sim::kernel_params params(sim::kernel k, double k_it = 1) {
+  sim::kernel_params p;
+  p.kind = k;
+  p.n = kN30;
+  p.k_it = k_it;
+  return p;
+}
+
+double allocator_speedup(const sim::backend_profile& prof, sim::kernel_params p) {
+  const auto& a = sim::machines::mach_a();
+  const auto custom = sim::run(a, prof, p, 32, numa::placement::parallel_touch);
+  const auto standard = sim::run(a, prof, p, 32, numa::placement::sequential_touch);
+  if (!custom.supported || custom.seconds <= 0) { return -1; }
+  return standard.seconds / custom.seconds;
+}
+
+void register_benchmarks() {
+  for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+    if (prof->name == "GCC-HPX") { continue; }  // own allocator (Section 5.1)
+    for (sim::kernel k : kernels()) {
+      register_sim_benchmark("fig1/custom_alloc/" + prof->name + "/" +
+                                 std::string(sim::kernel_name(k)),
+                             sim::machines::mach_a(), *prof, params(k), 32);
+    }
+  }
+}
+
+void report(std::ostream& os) {
+  table t("Figure 1: custom parallel allocator speedup vs default allocator "
+          "(Mach A, 32 threads, 2^30 elements; >1.00 = custom wins)");
+  t.set_header({"backend", "find", "for_each k=1", "for_each k=1000",
+                "inclusive_scan", "reduce", "sort"});
+  for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+    if (prof->name == "GCC-HPX") { continue; }
+    t.add_row({std::string(prof->name),
+               fmt(allocator_speedup(*prof, params(sim::kernel::find))),
+               fmt(allocator_speedup(*prof, params(sim::kernel::for_each))),
+               fmt(allocator_speedup(*prof, params(sim::kernel::for_each, 1000))),
+               allocator_speedup(*prof, params(sim::kernel::inclusive_scan)) < 0
+                   ? "N/A"
+                   : fmt(allocator_speedup(*prof, params(sim::kernel::inclusive_scan))),
+               fmt(allocator_speedup(*prof, params(sim::kernel::reduce))),
+               fmt(allocator_speedup(*prof, params(sim::kernel::sort)))});
+  }
+  t.print(os);
+  os << "Paper reference (Fig. 1): for_each k=1 up to +63 %, reduce up to +50 %,\n"
+        "find -24 %, inclusive_scan -19 %, sort ~neutral; GCC-GNU never loses.\n";
+}
+
+}  // namespace
+}  // namespace pstlb::bench
+
+using namespace pstlb::bench;
+PSTLB_BENCH_MAIN(report)

@@ -1,0 +1,26 @@
+// Figure 4: X::find on Mach B (Zen 1) — (a) problem scaling at 64 threads,
+// (b) strong scaling at 2^30 elements.
+#include "kernel_figure.hpp"
+
+namespace pstlb::bench {
+namespace {
+
+void register_benchmarks() {
+  register_kernel_benchmarks("fig4/find/MachB", sim::machines::mach_b(),
+                             sim::kernel::find);
+}
+
+void report(std::ostream& os) {
+  print_problem_scaling(os, "Figure 4", sim::machines::mach_b(), sim::kernel::find);
+  print_strong_scaling(os, "Figure 4", sim::machines::mach_b(), sim::kernel::find);
+  os << "Paper reference (Fig. 4 / Table 5): sequential wins by orders of\n"
+        "magnitude below ~2^16; parallel wins above ~2^18; max speedup ~6 with\n"
+        "GCC-TBB at 64 threads (STREAM ratio caps scaling at ~7.8); GNU\n"
+        "switches to its parallel implementation at 2^9.\n";
+}
+
+}  // namespace
+}  // namespace pstlb::bench
+
+using namespace pstlb::bench;
+PSTLB_BENCH_MAIN(report)

@@ -1,0 +1,28 @@
+// Figure 5: X::inclusive_scan on Mach C (Zen 3) — (a) problem scaling at 128
+// threads, (b) strong scaling at 2^30 elements. GCC-GNU prints N/A (no
+// parallel scan); NVC-OMP silently runs sequential code.
+#include "kernel_figure.hpp"
+
+namespace pstlb::bench {
+namespace {
+
+void register_benchmarks() {
+  register_kernel_benchmarks("fig5/inclusive_scan/MachC", sim::machines::mach_c(),
+                             sim::kernel::inclusive_scan);
+}
+
+void report(std::ostream& os) {
+  print_problem_scaling(os, "Figure 5", sim::machines::mach_c(),
+                        sim::kernel::inclusive_scan);
+  print_strong_scaling(os, "Figure 5", sim::machines::mach_c(),
+                       sim::kernel::inclusive_scan);
+  os << "Paper reference (Fig. 5 / Table 5): sequential wins up to ~2^22 (L2)\n"
+        "and loses beyond the LLC (~2^26); TBB-based backends reach ~5 at 128\n"
+        "threads; NVC-OMP stays at ~0.9 (sequential fallback); HPX ~1.\n";
+}
+
+}  // namespace
+}  // namespace pstlb::bench
+
+using namespace pstlb::bench;
+PSTLB_BENCH_MAIN(report)

@@ -1,0 +1,25 @@
+// Figure 6: X::reduce on Mach A (Skylake) — (a) problem scaling at 32
+// threads, (b) strong scaling at 2^30 elements.
+#include "kernel_figure.hpp"
+
+namespace pstlb::bench {
+namespace {
+
+void register_benchmarks() {
+  register_kernel_benchmarks("fig6/reduce/MachA", sim::machines::mach_a(),
+                             sim::kernel::reduce);
+}
+
+void report(std::ostream& os) {
+  print_problem_scaling(os, "Figure 6", sim::machines::mach_a(), sim::kernel::reduce);
+  print_strong_scaling(os, "Figure 6", sim::machines::mach_a(), sim::kernel::reduce);
+  os << "Paper reference (Fig. 6 / Table 5): sequential wins below ~2^15; two\n"
+        "groups emerge — NVC/GCC-TBB/GCC-GNU around 10-11, ICC-TBB/HPX scale\n"
+        "well to 16 threads and degrade across the NUMA boundary (HPX worst).\n";
+}
+
+}  // namespace
+}  // namespace pstlb::bench
+
+using namespace pstlb::bench;
+PSTLB_BENCH_MAIN(report)

@@ -1,0 +1,68 @@
+// Shared layout for the single-kernel figures (Figs. 4-7): panel (a) problem
+// scaling at full threads, panel (b) strong scaling at 2^30 elements.
+#pragma once
+
+#include "common.hpp"
+
+namespace pstlb::bench {
+
+inline sim::kernel_params kernel_point(sim::kernel k, double n) {
+  sim::kernel_params p;
+  p.kind = k;
+  p.n = n;
+  return p;
+}
+
+inline void print_problem_scaling(std::ostream& os, const std::string& figure,
+                                  const sim::machine& m, sim::kernel k) {
+  table t(figure + "a: X::" + std::string(sim::kernel_name(k)) +
+          " problem scaling, " + m.name + " (" + m.arch + "), " +
+          std::to_string(m.cores) + " threads [seconds]");
+  std::vector<std::string> header{"size"};
+  for (const sim::backend_profile* prof : sim::profiles::all()) {
+    header.push_back(std::string(prof->name));
+  }
+  t.set_header(header);
+  for (double n : sim::problem_sizes(3, 30)) {
+    std::vector<std::string> row{pow2_label(n)};
+    for (const sim::backend_profile* prof : sim::profiles::all()) {
+      const auto r =
+          sim::run(m, *prof, kernel_point(k, n), m.cores, sim::paper_alloc_for(*prof));
+      row.push_back(r.supported ? eng(r.seconds) : "N/A");
+    }
+    t.add_row(row);
+  }
+  t.print(os);
+}
+
+inline void print_strong_scaling(std::ostream& os, const std::string& figure,
+                                 const sim::machine& m, sim::kernel k) {
+  table t(figure + "b: X::" + std::string(sim::kernel_name(k)) +
+          " strong scaling, " + m.name + " (" + m.arch +
+          "), 2^30 elements [speedup vs GCC-SEQ]");
+  std::vector<std::string> header{"threads"};
+  for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+    header.push_back(std::string(prof->name));
+  }
+  t.set_header(header);
+  for (unsigned threads : sim::thread_sweep(m.cores)) {
+    std::vector<std::string> row{std::to_string(threads)};
+    for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+      const double s = sim::speedup_vs_gcc_seq(m, *prof, kernel_point(k, kN30),
+                                               threads, sim::paper_alloc_for(*prof));
+      row.push_back(s > 0 ? fmt(s, 1) : "N/A");
+    }
+    t.add_row(row);
+  }
+  t.print(os);
+}
+
+inline void register_kernel_benchmarks(const std::string& prefix, const sim::machine& m,
+                                       sim::kernel k) {
+  for (const sim::backend_profile* prof : sim::profiles::all()) {
+    register_sim_benchmark(prefix + "/" + prof->name + "/n_2^30", m, *prof,
+                           kernel_point(k, kN30), m.cores);
+  }
+}
+
+}  // namespace pstlb::bench

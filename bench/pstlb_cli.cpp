@@ -1,0 +1,309 @@
+// pstlb_cli — the pSTL-Bench command-line driver.
+//
+// One measurement per invocation, either simulated on one of the paper's
+// machines or natively on this host:
+//
+//   pstlb_cli --mode=sim --machine="Mach C" --kernel=sort
+//             --backend=GCC-GNU --threads=128 --size=2^30 --explain
+//   pstlb_cli --mode=native --kernel=reduce --backend=steal
+//             --threads=4 --size=2^20 --reps=9
+//   pstlb_cli --list
+//
+// Without arguments it prints usage plus a small native demo (exit 0), so
+// it is safe to run in bulk alongside the figure/table binaries.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "backends/backend_registry.hpp"
+#include "bench_core/generators.hpp"
+#include "bench_core/report.hpp"
+#include "counters/counters.hpp"
+#include "pstlb/pstlb.hpp"
+#include "sim/run.hpp"
+
+namespace pstlb::cli {
+namespace {
+
+struct options {
+  std::string mode = "demo";  // sim | native | demo
+  std::string machine = "Mach A";
+  std::string kernel = "reduce";
+  std::string backend;  // sim: profile name; native: registry name
+  unsigned threads = 0;
+  double size = 1 << 20;
+  double k_it = 1;
+  int reps = 5;
+  bool explain = false;
+  bool csv = false;
+  std::string alloc = "custom";  // custom | default
+};
+
+double parse_size(const std::string& text) {
+  const auto caret = text.find('^');
+  if (caret != std::string::npos) {
+    const double base = std::atof(text.substr(0, caret).c_str());
+    const double exp = std::atof(text.substr(caret + 1).c_str());
+    return std::pow(base, exp);
+  }
+  return std::atof(text.c_str());
+}
+
+bool parse_args(int argc, char** argv, options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* key) -> const char* {
+      const std::size_t len = std::strlen(key);
+      if (arg.rfind(key, 0) == 0 && arg.size() > len && arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (arg == "--list") {
+      opt.mode = "list";
+    } else if (arg == "--explain") {
+      opt.explain = true;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (const char* mode_v = value_of("--mode")) {
+      opt.mode = mode_v;
+    } else if (const char* machine_v = value_of("--machine")) {
+      opt.machine = machine_v;
+    } else if (const char* kernel_v = value_of("--kernel")) {
+      opt.kernel = kernel_v;
+    } else if (const char* backend_v = value_of("--backend")) {
+      opt.backend = backend_v;
+    } else if (const char* threads_v = value_of("--threads")) {
+      opt.threads = static_cast<unsigned>(std::atoi(threads_v));
+    } else if (const char* size_v = value_of("--size")) {
+      opt.size = parse_size(size_v);
+    } else if (const char* kit_v = value_of("--k_it")) {
+      opt.k_it = std::atof(kit_v);
+    } else if (const char* reps_v = value_of("--reps")) {
+      opt.reps = std::atoi(reps_v);
+    } else if (const char* alloc_v = value_of("--alloc")) {
+      opt.alloc = alloc_v;
+    } else if (arg == "--help" || arg == "-h") {
+      opt.mode = "help";
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_usage() {
+  std::puts(
+      "pstlb_cli — pSTL-Bench driver\n"
+      "  --mode=sim|native      simulated paper machine or this host\n"
+      "  --machine=\"Mach A..F\"  (sim) machine from Table 2 (+ARM preview)\n"
+      "  --kernel=NAME          find for_each reduce inclusive_scan sort copy\n"
+      "                         transform count min_element exclusive_scan\n"
+      "  --backend=NAME         sim: GCC-SEQ GCC-TBB GCC-GNU GCC-HPX ICC-TBB\n"
+      "                              NVC-OMP   (default: all)\n"
+      "                         native: seq fork_join omp omp_dyn steal futures\n"
+      "  --threads=N            participants (default: machine cores / env)\n"
+      "  --size=N|2^K           elements (default 2^20)\n"
+      "  --k_it=N               for_each inner-loop iterations (default 1)\n"
+      "  --alloc=custom|default (sim) first-touch strategy (Fig. 1)\n"
+      "  --reps=N               (native) repetitions, median reported\n"
+      "  --explain              (sim) per-phase breakdown\n"
+      "  --csv                  machine-readable one-line-per-result output\n"
+      "  --list                 machines, kernels, backends");
+}
+
+void print_list() {
+  std::puts("machines (sim):");
+  for (const sim::machine* m : sim::machines::cpus_extended()) {
+    std::printf("  %-7s %-12s %3u cores, %u NUMA nodes, STREAM %5.1f/%5.1f GB/s\n",
+                m->name.c_str(), m->arch.c_str(), m->cores, m->numa_nodes,
+                m->bw1_gbs, m->bwall_gbs);
+  }
+  std::puts("gpus (sim): Mach D (Tesla T4), Mach E (Ampere A2)");
+  std::puts("kernels:");
+  for (sim::kernel k :
+       {sim::kernel::find, sim::kernel::for_each, sim::kernel::reduce,
+        sim::kernel::inclusive_scan, sim::kernel::sort, sim::kernel::copy,
+        sim::kernel::transform, sim::kernel::count, sim::kernel::min_element,
+        sim::kernel::exclusive_scan}) {
+    std::printf("  %s\n", std::string(sim::kernel_name(k)).c_str());
+  }
+  std::puts("sim backends:");
+  for (const sim::backend_profile* p : sim::profiles::all()) {
+    std::printf("  %s\n", p->name.c_str());
+  }
+  std::puts("native backends:");
+  for (backends::backend_id id : backends::all_backends()) {
+    std::printf("  %s\n", std::string(backends::name_of(id)).c_str());
+  }
+}
+
+const char* tier_name(sim::memory_tier tier) {
+  switch (tier) {
+    case sim::memory_tier::l2: return "L2";
+    case sim::memory_tier::llc: return "LLC";
+    case sim::memory_tier::dram: return "DRAM";
+  }
+  return "?";
+}
+
+int run_sim(const options& opt) {
+  const sim::machine& m = sim::machines::by_name(opt.machine);
+  sim::kernel_params params;
+  params.kind = sim::parse_kernel(opt.kernel);
+  params.n = opt.size;
+  params.k_it = opt.k_it;
+  const unsigned threads = opt.threads == 0 ? m.cores : opt.threads;
+  const auto alloc = opt.alloc == "default" ? numa::placement::sequential_touch
+                                            : numa::placement::parallel_touch;
+
+  std::vector<const sim::backend_profile*> profs;
+  if (opt.backend.empty()) {
+    profs = sim::profiles::all();
+  } else {
+    profs.push_back(&sim::profiles::by_name(opt.backend));
+  }
+
+  const double baseline = sim::gcc_seq_seconds(m, params);
+  if (opt.csv) {
+    std::puts("mode,machine,kernel,backend,threads,size,k_it,alloc,seconds,speedup");
+  }
+  for (const sim::backend_profile* prof : profs) {
+    const auto r = sim::run(m, *prof, params, threads, alloc);
+    if (opt.csv) {
+      std::printf("sim,%s,%s,%s,%u,%.0f,%.0f,%s,%.9g,%.4g\n", m.name.c_str(),
+                  opt.kernel.c_str(), prof->name.c_str(), threads, params.n,
+                  params.k_it, opt.alloc.c_str(), r.supported ? r.seconds : -1.0,
+                  r.supported ? baseline / r.seconds : 0.0);
+      continue;
+    }
+    if (!r.supported) {
+      std::printf("%-8s : N/A (no parallel implementation)\n", prof->name.c_str());
+      continue;
+    }
+    std::printf("%-8s : %10.6f s   speedup vs GCC-SEQ %6.2f   BW %7.1f GiB/s\n",
+                prof->name.c_str(), r.seconds, baseline / r.seconds,
+                r.ctrs.bandwidth_gib_per_s());
+    if (opt.explain) {
+      for (const auto& phase : r.phases) {
+        std::printf("    %-22s %10.6f s  %s%s  %8.2f GiB  chunks=%zu  tier=%s\n",
+                    phase.label.c_str(), phase.seconds,
+                    phase.parallel ? "par" : "seq", "",
+                    phase.bytes / (1024.0 * 1024 * 1024), phase.chunks,
+                    tier_name(phase.tier));
+      }
+    }
+  }
+  return 0;
+}
+
+template <class Policy>
+double native_median_seconds(const options& opt, Policy policy) {
+  const auto n = static_cast<index_t>(opt.size);
+  std::vector<double> times;
+  auto data = bench::generate_increment(policy, n);
+  std::vector<elem_t> out(data.size());
+  std::uint64_t seed = 1;
+  const std::string kernel = opt.kernel;
+  for (int rep = 0; rep < std::max(1, opt.reps); ++rep) {
+    counters::region region("cli");
+    if (kernel == "for_each") {
+      const auto k_it = static_cast<std::size_t>(opt.k_it);
+      pstlb::for_each(policy, data.begin(), data.end(), [k_it](elem_t& x) {
+        volatile std::size_t iterations = k_it;
+        elem_t acc{};
+        for (std::size_t i = 0; i < iterations; ++i) { acc += 1; }
+        x = acc;
+      });
+    } else if (kernel == "find") {
+      const elem_t target = static_cast<elem_t>(bench::find_target(n, seed++) + 1);
+      auto it = pstlb::find(policy, data.begin(), data.end(), target);
+      if (it == data.end() && n > 0) { std::abort(); }
+    } else if (kernel == "reduce" || kernel == "count" || kernel == "min_element") {
+      volatile elem_t sink = pstlb::reduce(policy, data.begin(), data.end());
+      (void)sink;
+    } else if (kernel == "inclusive_scan" || kernel == "exclusive_scan") {
+      pstlb::inclusive_scan(policy, data.begin(), data.end(), out.begin());
+    } else if (kernel == "sort") {
+      bench::shuffle_values(data.data(), n, seed++);
+      pstlb::sort(policy, data.begin(), data.end());
+    } else if (kernel == "copy" || kernel == "transform") {
+      pstlb::copy(policy, data.begin(), data.end(), out.begin());
+    } else {
+      std::fprintf(stderr, "native mode does not support kernel %s\n", kernel.c_str());
+      std::exit(2);
+    }
+    times.push_back(region.stop().seconds);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+int run_native(const options& opt) {
+  const unsigned threads = opt.threads == 0 ? exec::default_threads() : opt.threads;
+  std::vector<backends::backend_id> ids;
+  if (opt.backend.empty()) {
+    ids.assign(backends::all_backends().begin(), backends::all_backends().end());
+  } else {
+    ids.push_back(backends::parse_backend(opt.backend));
+  }
+  if (opt.csv) {
+    std::puts("mode,kernel,backend,threads,size,k_it,median_seconds");
+  }
+  for (backends::backend_id id : ids) {
+    const double median = backends::with_policy(id, threads, [&](auto policy) {
+      if constexpr (exec::ParallelPolicy<decltype(policy)>) {
+        policy.seq_threshold = 0;
+      }
+      return native_median_seconds(opt, policy);
+    });
+    if (opt.csv) {
+      std::printf("native,%s,%s,%u,%.0f,%.0f,%.9g\n", opt.kernel.c_str(),
+                  std::string(backends::name_of(id)).c_str(), threads, opt.size,
+                  opt.k_it, median);
+    } else {
+      std::printf("%-10s : median %10.6f s over %d reps (%.2f Melem/s)\n",
+                  std::string(backends::name_of(id)).c_str(), median, opt.reps,
+                  opt.size / median / 1e6);
+    }
+  }
+  return 0;
+}
+
+int run_demo() {
+  print_usage();
+  std::puts("\ndemo: native reduce, 2^18 doubles, all backends:");
+  options opt;
+  opt.kernel = "reduce";
+  opt.size = 1 << 18;
+  opt.reps = 3;
+  opt.threads = 4;
+  return run_native(opt);
+}
+
+}  // namespace
+}  // namespace pstlb::cli
+
+int main(int argc, char** argv) {
+  pstlb::cli::options opt;
+  if (!pstlb::cli::parse_args(argc, argv, opt)) { return 2; }
+  if (opt.mode == "help") {
+    pstlb::cli::print_usage();
+    return 0;
+  }
+  if (opt.mode == "list") {
+    pstlb::cli::print_list();
+    return 0;
+  }
+  if (opt.mode == "sim") { return pstlb::cli::run_sim(opt); }
+  if (opt.mode == "native") { return pstlb::cli::run_native(opt); }
+  return pstlb::cli::run_demo();
+}

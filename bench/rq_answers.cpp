@@ -1,0 +1,94 @@
+// Research-question answers (Section 3 of the paper poses three questions
+// that the suite exists to answer; this binary answers them directly from
+// the simulation, machine by machine).
+#include "common.hpp"
+
+#include "bench_core/analysis.hpp"
+
+namespace pstlb::bench {
+namespace {
+
+const std::vector<sim::kernel>& kernels() {
+  static const std::vector<sim::kernel> list{
+      sim::kernel::find, sim::kernel::for_each, sim::kernel::reduce,
+      sim::kernel::inclusive_scan, sim::kernel::sort};
+  return list;
+}
+
+void register_benchmarks() {}
+
+void report(std::ostream& os) {
+  // RQ1: problem-size sweet spot.
+  for (const sim::machine* m : sim::machines::cpus()) {
+    table t("RQ1 — smallest problem size where parallel beats GCC-SEQ (" +
+            m->name + ", " + std::to_string(m->cores) + " threads)");
+    std::vector<std::string> header{"backend"};
+    for (sim::kernel k : kernels()) {
+      header.push_back("X::" + std::string(sim::kernel_name(k)));
+    }
+    t.set_header(header);
+    for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+      std::vector<std::string> row{std::string(prof->name)};
+      for (sim::kernel k : kernels()) {
+        const double crossover = parallel_crossover_size(*m, *prof, k, m->cores);
+        row.push_back(crossover > 0 ? pow2_label(crossover) : "never");
+      }
+      t.add_row(row);
+    }
+    t.print(os);
+  }
+  os << "Paper's answer (Sections 5.2-5.6): crossovers sit between ~2^16 and\n"
+        "~2^26 depending on kernel and machine; scans may never pay (NVC) or\n"
+        "have no parallel version (GNU).\n";
+
+  // RQ2: max effectively usable cores.
+  table t2("RQ2 — max threads at >= 70 % parallel efficiency (Mach A | B | C)");
+  std::vector<std::string> header{"backend"};
+  for (sim::kernel k : kernels()) {
+    header.push_back("X::" + std::string(sim::kernel_name(k)));
+  }
+  t2.set_header(header);
+  for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+    std::vector<std::string> row{std::string(prof->name)};
+    for (sim::kernel k : kernels()) {
+      auto cell = [&](const sim::machine& m) -> double {
+        sim::kernel_params p;
+        p.kind = k;
+        p.n = kN30;
+        const auto r = sim::run(m, *prof, p, m.cores, sim::paper_alloc_for(*prof));
+        if (!r.supported) { return -1; }
+        return max_effective_threads(m, *prof, k);
+      };
+      row.push_back(triple(cell(sim::machines::mach_a()), cell(sim::machines::mach_b()),
+                           cell(sim::machines::mach_c()), 0));
+    }
+    t2.add_row(row);
+  }
+  t2.print(os);
+  os << "Paper's answer (Table 6): rarely more than one NUMA node's worth of\n"
+        "cores for memory-bound kernels; the whole machine only for\n"
+        "compute-bound maps.\n";
+
+  // RQ3: which backend to pick.
+  table t3("RQ3 — fastest backend per kernel and machine (2^30 elements, all "
+           "cores)");
+  t3.set_header({"kernel", "Mach A", "Mach B", "Mach C"});
+  for (sim::kernel k : kernels()) {
+    auto who = [&](const sim::machine& m) {
+      const auto* best = fastest_backend(m, k);
+      return best != nullptr ? std::string(best->name) : std::string("-");
+    };
+    t3.add_row({"X::" + std::string(sim::kernel_name(k)),
+                who(sim::machines::mach_a()), who(sim::machines::mach_b()),
+                who(sim::machines::mach_c())});
+  }
+  t3.print(os);
+  os << "Paper's answer (Table 5): NVC-OMP for plain maps, TBB for find/scan,\n"
+        "GNU's multiway mergesort for sort; HPX never wins.\n";
+}
+
+}  // namespace
+}  // namespace pstlb::bench
+
+using namespace pstlb::bench;
+PSTLB_BENCH_MAIN(report)

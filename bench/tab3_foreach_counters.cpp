@@ -1,0 +1,72 @@
+// Table 3: executed instructions and derived metrics for 100 calls of
+// X::for_each (k_it = 1) on Mach A (Skylake), per backend.
+#include "common.hpp"
+
+namespace pstlb::bench {
+namespace {
+
+sim::kernel_params params() {
+  sim::kernel_params p;
+  p.kind = sim::kernel::for_each;
+  p.n = kN30;
+  p.k_it = 1;
+  return p;
+}
+
+void register_benchmarks() {
+  for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+    register_sim_benchmark("tab3/for_each_counters/MachA/" + prof->name,
+                           sim::machines::mach_a(), *prof, params(), 32);
+  }
+}
+
+void report(std::ostream& os) {
+  constexpr double kCalls = 100;
+  table t("Table 3: executed instructions in 100 calls to X::for_each (k_it=1) "
+          "on Mach A (Skylake), 32 threads");
+  t.set_header({"metric", "GCC-TBB", "GCC-GNU", "GCC-HPX", "ICC-TBB", "NVC-OMP"});
+  std::vector<counters::counter_set> samples;
+  std::vector<std::string> names;
+  for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+    const auto r = sim::run(sim::machines::mach_a(), *prof, params(), 32,
+                            sim::paper_alloc_for(*prof));
+    samples.push_back(r.ctrs);
+    names.push_back(std::string(prof->name));
+  }
+  auto row = [&](const std::string& label, auto metric) {
+    std::vector<std::string> cells{label};
+    for (const auto& s : samples) { cells.push_back(metric(s)); }
+    t.add_row(cells);
+  };
+  row("Instructions", [&](const counters::counter_set& s) {
+    return eng(s.instructions * kCalls);
+  });
+  row("FP scalar", [&](const counters::counter_set& s) {
+    return eng(s.fp_scalar * kCalls);
+  });
+  row("FP 128-bit packed", [&](const counters::counter_set& s) {
+    return eng(s.fp_128 * kCalls);
+  });
+  row("FP 256-bit packed", [&](const counters::counter_set& s) {
+    return eng(s.fp_256 * kCalls);
+  });
+  row("GFLOP/s", [&](const counters::counter_set& s) {
+    return fmt(s.flops() / s.seconds * 1e-9, 2);
+  });
+  row("Mem. bandwidth (GiB/s)", [&](const counters::counter_set& s) {
+    return fmt(s.bandwidth_gib_per_s(), 1);
+  });
+  row("Mem. data volume (GiB)", [&](const counters::counter_set& s) {
+    return fmt(s.bytes_total() * kCalls / (1024.0 * 1024 * 1024), 0);
+  });
+  t.print(os);
+  os << "Paper reference (Tab. 3): instructions 1.72T/2.41T/3.83T/1.55T/2.24T;\n"
+        "FP scalar 107G everywhere, no packed FP; volumes 2128/1925/1850/2151/\n"
+        "1762 GiB; bandwidth 107.6/116.6/75.6/104.5/119.1 GiB/s.\n";
+}
+
+}  // namespace
+}  // namespace pstlb::bench
+
+using namespace pstlb::bench;
+PSTLB_BENCH_MAIN(report)

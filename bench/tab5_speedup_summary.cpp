@@ -1,0 +1,66 @@
+// Table 5: speedup against GCC's sequential implementation at full core
+// count (32 | 64 | 128), problem size 2^30, all kernels x backends.
+// Notation is Mach A | Mach B | Mach C, as in the paper. Higher is better.
+#include "common.hpp"
+
+namespace pstlb::bench {
+namespace {
+
+sim::kernel_params params(sim::kernel k, double k_it = 1) {
+  sim::kernel_params p;
+  p.kind = k;
+  p.n = kN30;
+  p.k_it = k_it;
+  return p;
+}
+
+double cell(const sim::backend_profile& prof, const sim::machine& m,
+            sim::kernel_params p) {
+  const auto r = sim::run(m, prof, p, m.cores, sim::paper_alloc_for(prof));
+  if (!r.supported) { return -1; }
+  return sim::gcc_seq_seconds(m, p) / r.seconds;
+}
+
+void register_benchmarks() {
+  for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+    for (const sim::machine* m : sim::machines::cpus()) {
+      register_sim_benchmark("tab5/for_each_k1/" + m->name + "/" + prof->name, *m,
+                             *prof, params(sim::kernel::for_each), m->cores);
+    }
+  }
+}
+
+void report(std::ostream& os) {
+  table t("Table 5: speedup vs GCC-SEQ with all cores (Mach A | Mach B | Mach C "
+          "= 32 | 64 | 128 cores), 2^30 elements");
+  t.set_header({"backend", "X::find", "X::for_each k=1", "X::for_each k=1000",
+                "X::inclusive_scan", "X::reduce", "X::sort"});
+  for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+    auto tri = [&](sim::kernel_params p) {
+      return triple(cell(*prof, sim::machines::mach_a(), p),
+                    cell(*prof, sim::machines::mach_b(), p),
+                    cell(*prof, sim::machines::mach_c(), p));
+    };
+    t.add_row({std::string(prof->name), tri(params(sim::kernel::find)),
+               tri(params(sim::kernel::for_each)),
+               tri(params(sim::kernel::for_each, 1000)),
+               tri(params(sim::kernel::inclusive_scan)),
+               tri(params(sim::kernel::reduce)), tri(params(sim::kernel::sort))});
+  }
+  t.print(os);
+  os << R"(Paper reference (Tab. 5):
+         X::find          fe k=1            fe k=1000            scan            X::reduce         X::sort
+GCC-TBB  8.9 | 5.8 | 4.7  14.2| 6.1 | 8.5   32.5| 54.9 | 102.0   4.5 |3.1 |4.7   10.0| 5.1 | 6.9   9.7 | 9.4 | 10.6
+GCC-GNU  8.0 | 3.2 | 2.2  15.0| 7.8 | 9.1   32.5| 54.9 | 106.5   N/A             11.0| 4.7 | 6.0   25.4| 26.9| 66.6
+GCC-HPX  6.4 | 1.4 | 1.1  7.2 | 1.8 | 1.4   32.4| 43.7 | 84.8    3.0 |0.9 |1.0   7.3 | 0.9 | 1.2   10.1| 8.0 | 8.1
+ICC-TBB  9.0 | N/A | 4.8  13.9| N/A | 8.2   32.5| N/A  | 106.7   4.5 |N/A |4.7   10.2| N/A | 6.8   10.1| N/A | 9.0
+NVC-OMP  6.1 | 1.4 | 1.2  22.1| 15.0| 13.0  32.0| 54.8 | 106.5   0.9 |0.8 |0.9   11.0| 4.8 | 11.9  7.1 | 6.3 | 6.7
+(ICC was not installed on Mach B; our simulation reports its model there too.)
+)";
+}
+
+}  // namespace
+}  // namespace pstlb::bench
+
+using namespace pstlb::bench;
+PSTLB_BENCH_MAIN(report)

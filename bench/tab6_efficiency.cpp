@@ -1,0 +1,57 @@
+// Table 6: maximum number of threads such that parallel efficiency (vs the
+// GCC sequential baseline) stays above 70 %, per kernel x backend x machine.
+#include "common.hpp"
+
+namespace pstlb::bench {
+namespace {
+
+sim::kernel_params params(sim::kernel k, double k_it = 1) {
+  sim::kernel_params p;
+  p.kind = k;
+  p.n = kN30;
+  p.k_it = k_it;
+  return p;
+}
+
+int max_threads_cell(const sim::backend_profile& prof, const sim::machine& m,
+                     sim::kernel_params p) {
+  const auto r = sim::run(m, prof, p, m.cores, sim::paper_alloc_for(prof));
+  if (!r.supported) { return -1; }
+  return static_cast<int>(sim::max_threads_at_efficiency(m, prof, p, 0.7));
+}
+
+void register_benchmarks() {
+  for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+    register_sim_benchmark("tab6/reduce/MachA/" + prof->name, sim::machines::mach_a(),
+                           *prof, params(sim::kernel::reduce), 32);
+  }
+}
+
+void report(std::ostream& os) {
+  table t("Table 6: max threads with parallel efficiency >= 70 % vs GCC-SEQ "
+          "(Mach A | Mach B | Mach C), 2^30 elements");
+  t.set_header({"backend", "X::find", "X::for_each k=1", "X::for_each k=1000",
+                "X::inclusive_scan", "X::reduce", "X::sort"});
+  for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+    auto tri = [&](sim::kernel_params p) {
+      return triple(max_threads_cell(*prof, sim::machines::mach_a(), p),
+                    max_threads_cell(*prof, sim::machines::mach_b(), p),
+                    max_threads_cell(*prof, sim::machines::mach_c(), p), 0);
+    };
+    t.add_row({std::string(prof->name), tri(params(sim::kernel::find)),
+               tri(params(sim::kernel::for_each)),
+               tri(params(sim::kernel::for_each, 1000)),
+               tri(params(sim::kernel::inclusive_scan)),
+               tri(params(sim::kernel::reduce)), tri(params(sim::kernel::sort))});
+  }
+  t.print(os);
+  os << "Paper reference (Tab. 6): memory-bound kernels rarely sustain more\n"
+        "than 16 threads at 70 % efficiency (one NUMA node's worth of cores on\n"
+        "Mach A/C); for_each k=1000 sustains the full machine except for HPX.\n";
+}
+
+}  // namespace
+}  // namespace pstlb::bench
+
+using namespace pstlb::bench;
+PSTLB_BENCH_MAIN(report)

@@ -1,0 +1,128 @@
+// k-means clustering: an iterative workload mixing every algorithm class —
+// transform (assignment), transform_reduce (centroid accumulation + cost),
+// count_if (cluster sizes), min_element (convergence) — on the public API.
+//
+//   build/examples/kmeans [points] [clusters] [iterations] [threads]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "counters/counters.hpp"
+#include "pstlb/pstlb.hpp"
+
+namespace {
+
+struct point {
+  double x = 0;
+  double y = 0;
+};
+
+struct accum {
+  double x = 0;
+  double y = 0;
+  long long count = 0;
+  accum operator+(const accum& other) const {
+    return {x + other.x, y + other.y, count + other.count};
+  }
+};
+
+double dist2(point a, point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+std::vector<point> make_points(std::size_t n, int clusters) {
+  std::vector<point> points(n);
+  std::uint64_t state = 12345;
+  auto rnd = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state >> 11) / static_cast<double>(1ull << 53);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(i) % clusters;
+    const double cx = 10.0 * (c % 4);
+    const double cy = 10.0 * (c / 4);
+    points[i] = {cx + rnd() * 2 - 1, cy + rnd() * 2 - 1};
+  }
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pstlb;
+  const std::size_t n = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 200000;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int iterations = argc > 3 ? std::atoi(argv[3]) : 10;
+  const unsigned threads =
+      argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : exec::default_threads();
+
+  exec::steal_policy par{threads};
+  const auto points = make_points(n, k);
+  std::vector<int> assignment(n, 0);
+  std::vector<point> centroids(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    centroids[static_cast<std::size_t>(c)] = points[static_cast<std::size_t>(c) * 37];
+  }
+
+  counters::region region("kmeans");
+  double cost = 0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Assignment step: nearest centroid per point (parallel map).
+    pstlb::transform(par, points.begin(), points.end(), assignment.begin(),
+                     [&](const point& p) {
+                       int best = 0;
+                       double best_d = std::numeric_limits<double>::max();
+                       for (int c = 0; c < k; ++c) {
+                         const double d = dist2(p, centroids[static_cast<std::size_t>(c)]);
+                         if (d < best_d) {
+                           best_d = d;
+                           best = c;
+                         }
+                       }
+                       return best;
+                     });
+    // Update step: one transform_reduce per centroid (deliberately simple;
+    // a fused multi-accumulator reduction would do one pass).
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) { idx[i] = i; }
+    for (int c = 0; c < k; ++c) {
+      const accum sum = pstlb::transform_reduce(
+          par, idx.begin(), idx.end(), accum{}, std::plus<>{}, [&](std::size_t i) {
+            if (assignment[i] != c) { return accum{}; }
+            return accum{points[i].x, points[i].y, 1};
+          });
+      if (sum.count > 0) {
+        centroids[static_cast<std::size_t>(c)] = {
+            sum.x / static_cast<double>(sum.count),
+            sum.y / static_cast<double>(sum.count)};
+      }
+    }
+    // Cost: total within-cluster squared distance.
+    cost = pstlb::transform_reduce(par, idx.begin(), idx.end(), 0.0, std::plus<>{},
+                                   [&](std::size_t i) {
+                                     return dist2(points[i],
+                                                  centroids[static_cast<std::size_t>(
+                                                      assignment[i])]);
+                                   });
+  }
+  const auto& sample = region.stop();
+
+  std::printf("points      : %zu, clusters %d, iterations %d, threads %u\n", n, k,
+              iterations, threads);
+  for (int c = 0; c < k; ++c) {
+    const auto count = pstlb::count(par, assignment.begin(), assignment.end(), c);
+    std::printf("  cluster %d : centroid (%6.2f, %6.2f)  %8lld points\n", c,
+                centroids[static_cast<std::size_t>(c)].x,
+                centroids[static_cast<std::size_t>(c)].y,
+                static_cast<long long>(count));
+  }
+  std::printf("final cost  : %.1f (avg per point %.4f)\n", cost,
+              cost / static_cast<double>(n));
+  std::printf("wall time   : %.1f ms\n", sample.seconds * 1e3);
+  // Synthetic clusters are ~1 unit wide: a sane fit has small average cost.
+  return cost / static_cast<double>(n) < 2.0 ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Machine explorer: interactive front-end to the simulation substrate.
+//
+//   build/examples/machine_explorer <machine> <kernel> [k_it]
+//   e.g.  machine_explorer "Mach C" sort
+//         machine_explorer "Mach A" for_each 1000
+//
+// Prints the strong-scaling profile of every backend for the chosen kernel
+// and machine — the tool a user would reach for to answer the paper's
+// research question "how many threads can this algorithm use effectively?".
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_core/report.hpp"
+#include "sim/run.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pstlb;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <machine> <kernel> [k_it]\n"
+                 "  machines: Mach A | Mach B | Mach C\n"
+                 "  kernels : find for_each reduce inclusive_scan sort copy\n"
+                 "            transform count min_element exclusive_scan\n",
+                 argv[0]);
+    return 2;
+  }
+  const sim::machine& m = sim::machines::by_name(argv[1]);
+  sim::kernel_params params;
+  params.kind = sim::parse_kernel(argv[2]);
+  params.n = 1073741824.0;  // 2^30
+  params.k_it = argc > 3 ? std::atof(argv[3]) : 1.0;
+
+  std::printf("%s (%s): %u cores, %u NUMA nodes, STREAM %.1f / %.1f GB/s\n",
+              m.name.c_str(), m.arch.c_str(), m.cores, m.numa_nodes, m.bw1_gbs,
+              m.bwall_gbs);
+  std::printf("kernel %s, n = 2^30, k_it = %.0f; baseline GCC-SEQ = %.3f s\n\n",
+              std::string(sim::kernel_name(params.kind)).c_str(), params.k_it,
+              sim::gcc_seq_seconds(m, params));
+
+  bench::table t("Strong scaling [speedup vs GCC-SEQ] and 70% efficiency limit");
+  std::vector<std::string> header{"threads"};
+  for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+    header.push_back(std::string(prof->name));
+  }
+  t.set_header(header);
+  for (unsigned threads : sim::thread_sweep(m.cores)) {
+    std::vector<std::string> row{std::to_string(threads)};
+    for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+      const double s = sim::speedup_vs_gcc_seq(m, *prof, params, threads,
+                                               sim::paper_alloc_for(*prof));
+      row.push_back(s > 0 ? bench::fmt(s, 1) : "N/A");
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+
+  std::printf("\nmax threads with >= 70%% parallel efficiency:\n");
+  for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+    const auto r = sim::run(m, *prof, params, m.cores, sim::paper_alloc_for(*prof));
+    if (!r.supported) {
+      std::printf("  %-8s : N/A (no parallel implementation)\n", prof->name.c_str());
+      continue;
+    }
+    std::printf("  %-8s : %u\n", prof->name.c_str(),
+                sim::max_threads_at_efficiency(m, *prof, params, 0.7));
+  }
+  return 0;
+}

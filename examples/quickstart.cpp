@@ -1,0 +1,60 @@
+// Quickstart: the pSTL-Bench library in ~60 lines.
+//
+//   build/examples/quickstart [threads]
+//
+// Shows: picking an execution policy (backend), the first-touch allocator,
+// a handful of parallel algorithms, and a measurement region.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_core/generators.hpp"
+#include "counters/counters.hpp"
+#include "numa/first_touch_allocator.hpp"
+#include "pstlb/pstlb.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pstlb;
+
+  const unsigned threads =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : exec::default_threads();
+
+  // A TBB-like work-stealing policy with `threads` participants. Other
+  // choices: exec::fork_join_policy (GNU-like), exec::omp_static_policy
+  // (NVC-like), exec::task_policy (HPX-like), exec::seq.
+  exec::steal_policy par{threads};
+
+  // Data allocated with the paper's custom parallel first-touch allocator
+  // and initialized in parallel: v = [1, 2, ..., n].
+  const index_t n = 1 << 20;
+  auto v = bench::generate_increment(par, n);
+
+  counters::region region("quickstart");
+
+  // Map: x -> 2x.
+  pstlb::for_each(par, v.begin(), v.end(), [](elem_t& x) { x *= 2; });
+
+  // Reduce: sum must be 2 * n(n+1)/2.
+  const double sum = pstlb::reduce(par, v.begin(), v.end());
+
+  // Scan: running totals.
+  std::vector<elem_t> totals(v.size());
+  pstlb::inclusive_scan(par, v.begin(), v.end(), totals.begin());
+
+  // Search: first element above a threshold.
+  const auto it = pstlb::find_if(par, totals.begin(), totals.end(),
+                                 [](elem_t x) { return x > 1e9; });
+
+  // Sort descending.
+  pstlb::sort(par, v.begin(), v.end(), std::greater<>{});
+
+  const auto& sample = region.stop();
+
+  std::printf("threads            : %u\n", threads);
+  std::printf("sum                : %.0f (expected %.0f)\n", sum,
+              static_cast<double>(n) * (n + 1));
+  std::printf("first total > 1e9  : index %td\n", it - totals.begin());
+  std::printf("sorted descending  : v[0]=%.0f v[n-1]=%.0f\n", v.front(), v.back());
+  std::printf("wall time          : %.3f ms\n", sample.seconds * 1e3);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fork-join backend with static contiguous partitioning.
+//
+// This is the GNU/OpenMP execution model the paper measures as GCC-GNU and
+// (with a different policy profile) NVC-OMP: one parallel region, each
+// participant owns one contiguous slice, implicit barrier at the end. The
+// slice is walked in grain-sized blocks so cancellable loops (X::find) can
+// stop early.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+
+#include "backends/backend.hpp"
+#include "backends/nesting.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace pstlb::backends {
+
+class fork_join_backend {
+ public:
+  explicit fork_join_backend(unsigned threads) : threads_(threads == 0 ? 1 : threads) {}
+
+  unsigned threads() const noexcept { return threads_; }
+  unsigned slots() const noexcept { return threads_; }
+
+  template <class F>
+  void for_blocks(index_t n, index_t grain, std::atomic<index_t>* cancel,
+                  F&& body) const {
+    if (n <= 0) { return; }
+    if (threads_ == 1 || in_parallel_region() || n <= grain) {
+      sequential_blocks(n, grain, cancel, std::forward<F>(body));
+      return;
+    }
+    // noexcept region: an exception escaping a parallel body terminates,
+    // matching std::execution::par (and keeping the pool's barrier sound).
+    sched::thread_pool::global().run(
+        threads_, [&](unsigned tid, unsigned nthreads) noexcept {
+          region_guard guard;
+          const index_t slice = ceil_div(n, static_cast<index_t>(nthreads));
+          const index_t begin = std::min<index_t>(slice * tid, n);
+          const index_t end = std::min<index_t>(begin + slice, n);
+          const index_t step = grain > 0 ? grain : 1;
+          for (index_t b = begin; b < end; b += step) {
+            if (cancel != nullptr &&
+                b >= cancel->load(std::memory_order_relaxed)) {
+              return;
+            }
+            body(b, std::min<index_t>(b + step, end), tid);
+          }
+        });
+  }
+
+ private:
+  unsigned threads_;
+};
+
+static_assert(Backend<fork_join_backend>);
+
+}  // namespace pstlb::backends

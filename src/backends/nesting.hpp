@@ -1,0 +1,27 @@
+// Nested-parallelism guard.
+//
+// Real STL backends (TBB, GOMP) execute a parallel algorithm called from
+// inside another parallel region sequentially on the calling thread; our
+// pools additionally must not re-enter themselves (a worker waiting on its
+// own pool would deadlock). Every backend consults `in_parallel_region()`
+// and degrades to its sequential path when set.
+#pragma once
+
+namespace pstlb::backends {
+
+namespace detail {
+inline thread_local int region_depth = 0;
+}
+
+/// RAII marker placed around user-body execution by every parallel backend.
+class region_guard {
+ public:
+  region_guard() noexcept { ++detail::region_depth; }
+  ~region_guard() { --detail::region_depth; }
+  region_guard(const region_guard&) = delete;
+  region_guard& operator=(const region_guard&) = delete;
+};
+
+inline bool in_parallel_region() noexcept { return detail::region_depth > 0; }
+
+}  // namespace pstlb::backends

@@ -1,0 +1,61 @@
+// Dynamically-scheduled fork-join backend (OpenMP `schedule(dynamic)`
+// semantics): one parallel region over the persistent pool, but chunks are
+// claimed from a shared atomic cursor instead of being pre-sliced.
+//
+// This is an extension beyond the paper's backend set (its OpenMP backends
+// use static schedules); it sits between fork_join (no balancing) and steal
+// (distributed balancing): perfect balancing, but every claim contends on
+// one cache line. The ablation bench abl_chunking quantifies the trade-off.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+
+#include "backends/backend.hpp"
+#include "backends/nesting.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace pstlb::backends {
+
+class omp_dynamic_backend {
+ public:
+  explicit omp_dynamic_backend(unsigned threads) : threads_(threads == 0 ? 1 : threads) {}
+
+  unsigned threads() const noexcept { return threads_; }
+  unsigned slots() const noexcept { return threads_; }
+
+  template <class F>
+  void for_blocks(index_t n, index_t grain, std::atomic<index_t>* cancel,
+                  F&& body) const {
+    if (n <= 0) { return; }
+    if (threads_ == 1 || in_parallel_region() || n <= grain) {
+      sequential_blocks(n, grain, cancel, std::forward<F>(body));
+      return;
+    }
+    const index_t step = grain > 0 ? grain : 1;
+    const index_t chunks = ceil_div(n, step);
+    alignas(cache_line_size) std::atomic<index_t> cursor{0};
+    // noexcept region: see fork_join.hpp — par-body exceptions terminate.
+    sched::thread_pool::global().run(
+        threads_, [&](unsigned tid, unsigned) noexcept {
+          region_guard guard;
+          for (;;) {
+            const index_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (c >= chunks) { return; }
+            const index_t begin = c * step;
+            if (cancel != nullptr &&
+                begin >= cancel->load(std::memory_order_relaxed)) {
+              continue;  // skip cancelled chunks but keep draining the cursor
+            }
+            body(begin, std::min<index_t>(begin + step, n), tid);
+          }
+        });
+  }
+
+ private:
+  unsigned threads_;
+};
+
+static_assert(Backend<omp_dynamic_backend>);
+
+}  // namespace pstlb::backends

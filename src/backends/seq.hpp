@@ -1,0 +1,24 @@
+// Sequential backend — the GCC-SEQ baseline of the paper.
+#pragma once
+
+#include <atomic>
+
+#include "backends/backend.hpp"
+
+namespace pstlb::backends {
+
+class seq_backend {
+ public:
+  unsigned threads() const noexcept { return 1; }
+  unsigned slots() const noexcept { return 1; }
+
+  template <class F>
+  void for_blocks(index_t n, index_t grain, std::atomic<index_t>* cancel,
+                  F&& body) const {
+    sequential_blocks(n, grain, cancel, std::forward<F>(body));
+  }
+};
+
+static_assert(Backend<seq_backend>);
+
+}  // namespace pstlb::backends

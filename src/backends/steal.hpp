@@ -1,0 +1,41 @@
+// Work-stealing backend (TBB-like).
+#pragma once
+
+#include <atomic>
+
+#include "backends/backend.hpp"
+#include "backends/nesting.hpp"
+#include "sched/steal_pool.hpp"
+
+namespace pstlb::backends {
+
+class steal_backend {
+ public:
+  explicit steal_backend(unsigned threads) : threads_(threads == 0 ? 1 : threads) {}
+
+  unsigned threads() const noexcept { return threads_; }
+  unsigned slots() const noexcept { return threads_; }
+
+  template <class F>
+  void for_blocks(index_t n, index_t grain, std::atomic<index_t>* cancel,
+                  F&& body) const {
+    if (n <= 0) { return; }
+    if (threads_ == 1 || in_parallel_region() || n <= grain) {
+      sequential_blocks(n, grain, cancel, std::forward<F>(body));
+      return;
+    }
+    auto guarded = [&body](index_t begin, index_t end, unsigned tid) {
+      region_guard guard;
+      body(begin, end, tid);
+    };
+    const auto ctx = make_loop_context(n, grain, cancel, guarded);
+    sched::steal_pool::global().run(threads_, ctx);
+  }
+
+ private:
+  unsigned threads_;
+};
+
+static_assert(Backend<steal_backend>);
+
+}  // namespace pstlb::backends

@@ -1,0 +1,48 @@
+// Futures/central-queue backend (HPX-like).
+#pragma once
+
+#include <atomic>
+
+#include "backends/backend.hpp"
+#include "backends/nesting.hpp"
+#include "sched/task_queue_pool.hpp"
+
+namespace pstlb::backends {
+
+class task_futures_backend {
+ public:
+  explicit task_futures_backend(unsigned threads) : threads_(threads == 0 ? 1 : threads) {
+    if (threads_ > 1) { sched::task_queue_pool::global().ensure(threads_); }
+  }
+
+  unsigned threads() const noexcept { return threads_; }
+
+  /// Any pool worker may run any chunk, so accumulator slots must cover the
+  /// whole pool, not just this loop's participants.
+  unsigned slots() const noexcept {
+    return threads_ == 1 ? 1 : sched::task_queue_pool::global().slot_count();
+  }
+
+  template <class F>
+  void for_blocks(index_t n, index_t grain, std::atomic<index_t>* cancel,
+                  F&& body) const {
+    if (n <= 0) { return; }
+    if (threads_ == 1 || in_parallel_region() || n <= grain) {
+      sequential_blocks(n, grain, cancel, std::forward<F>(body));
+      return;
+    }
+    auto guarded = [&body](index_t begin, index_t end, unsigned tid) {
+      region_guard guard;
+      body(begin, end, tid);
+    };
+    const auto ctx = make_loop_context(n, grain, cancel, guarded);
+    sched::task_queue_pool::global().run(threads_, ctx);
+  }
+
+ private:
+  unsigned threads_;
+};
+
+static_assert(Backend<task_futures_backend>);
+
+}  // namespace pstlb::backends

@@ -1,0 +1,43 @@
+#include "bench_core/analysis.hpp"
+
+namespace pstlb::bench {
+
+double parallel_crossover_size(const sim::machine& m, const sim::backend_profile& prof,
+                               sim::kernel kind, unsigned threads) {
+  for (double n : sim::problem_sizes(3, 30)) {
+    sim::kernel_params params;
+    params.kind = kind;
+    params.n = n;
+    const auto r = sim::run(m, prof, params, threads, sim::paper_alloc_for(prof));
+    if (!r.supported) { return 0; }
+    if (r.seconds < sim::gcc_seq_seconds(m, params)) { return n; }
+  }
+  return 0;
+}
+
+unsigned max_effective_threads(const sim::machine& m, const sim::backend_profile& prof,
+                               sim::kernel kind, double efficiency) {
+  sim::kernel_params params;
+  params.kind = kind;
+  params.n = 1073741824.0;
+  return sim::max_threads_at_efficiency(m, prof, params, efficiency);
+}
+
+const sim::backend_profile* fastest_backend(const sim::machine& m, sim::kernel kind) {
+  const sim::backend_profile* best = nullptr;
+  double best_seconds = 0;
+  sim::kernel_params params;
+  params.kind = kind;
+  params.n = 1073741824.0;
+  for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+    const auto r = sim::run(m, *prof, params, m.cores, sim::paper_alloc_for(*prof));
+    if (!r.supported) { continue; }
+    if (best == nullptr || r.seconds < best_seconds) {
+      best = prof;
+      best_seconds = r.seconds;
+    }
+  }
+  return best;
+}
+
+}  // namespace pstlb::bench

@@ -1,0 +1,28 @@
+// Analysis helpers answering the paper's research questions (Section 3):
+//  (1) the problem-size sweet spot where a parallel algorithm starts paying,
+//  (2) the maximum number of effectively usable cores,
+//  (3) run-time comparison between backends.
+#pragma once
+
+#include "sim/run.hpp"
+
+namespace pstlb::bench {
+
+/// Smallest power-of-two size in [2^3, 2^30] at which `prof` at `threads`
+/// beats GCC-SEQ for `kind` on machine `m`; returns 0 when it never wins.
+/// (Research question 1: "how large a problem has to be such that utilizing
+/// the parallel version is advantageous?")
+double parallel_crossover_size(const sim::machine& m, const sim::backend_profile& prof,
+                               sim::kernel kind, unsigned threads);
+
+/// Research question 2: max threads with >= `efficiency` parallel efficiency
+/// (already in sim::max_threads_at_efficiency; re-exported here so analysis
+/// callers need one header).
+unsigned max_effective_threads(const sim::machine& m, const sim::backend_profile& prof,
+                               sim::kernel kind, double efficiency = 0.7);
+
+/// Research question 3: the fastest backend for a kernel on a machine at
+/// full core count (nullptr if nothing supports it).
+const sim::backend_profile* fastest_backend(const sim::machine& m, sim::kernel kind);
+
+}  // namespace pstlb::bench

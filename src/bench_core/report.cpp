@@ -1,0 +1,97 @@
+#include "bench_core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pstlb::bench {
+
+table::table(std::string title) : title_(std::move(title)) {}
+
+void table::set_header(std::vector<std::string> columns) { header_ = std::move(columns); }
+
+void table::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) { widths[c] = header_[c].size(); }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  os << "\n== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) { print_row(row); }
+  os.flush();
+}
+
+namespace {
+void csv_row(std::ostream& os, const std::vector<std::string>& row) {
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (c != 0) { os << ','; }
+    if (row[c].find(',') != std::string::npos) {
+      os << '"' << row[c] << '"';
+    } else {
+      os << row[c];
+    }
+  }
+  os << '\n';
+}
+}  // namespace
+
+void table::print_csv(std::ostream& os) const {
+  csv_row(os, header_);
+  for (const auto& row : rows_) { csv_row(os, row); }
+  os.flush();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+std::string triple(double a, double b, double c, int precision) {
+  auto one = [&](double v) { return v < 0 ? std::string("N/A") : fmt(v, precision); };
+  return one(a) + " | " + one(b) + " | " + one(c);
+}
+
+std::string eng(double value, int precision) {
+  static constexpr const char* suffixes[] = {"", "K", "M", "G", "T", "P"};
+  int exp = 0;
+  double v = value;
+  while (std::abs(v) >= 1000.0 && exp < 5) {
+    v /= 1000.0;
+    ++exp;
+  }
+  std::ostringstream ss;
+  ss << std::setprecision(precision) << v << suffixes[exp];
+  return ss.str();
+}
+
+std::string pow2_label(double n) {
+  const double log = std::log2(n);
+  const double rounded = std::round(log);
+  if (n > 0 && std::abs(log - rounded) < 1e-9) {
+    return "2^" + std::to_string(static_cast<int>(rounded));
+  }
+  std::ostringstream ss;
+  ss << n;
+  return ss.str();
+}
+
+}  // namespace pstlb::bench

@@ -1,0 +1,41 @@
+// Paper-style report tables.
+//
+// Every bench binary ends by printing the rows/series of its figure or table
+// in the same layout as the paper (e.g. "Mach A |Mach B |Mach C" triples for
+// Tables 5/6), so outputs can be compared to the publication side by side.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pstlb::bench {
+
+class table {
+ public:
+  explicit table(std::string title);
+
+  void set_header(std::vector<std::string> columns);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  /// Machine-readable form: header + rows, comma-separated, cells with
+  /// commas quoted.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers.
+std::string fmt(double value, int precision = 2);
+/// "a | b | c" triple in the paper's Mach A|Mach B|Mach C notation;
+/// negative entries render as "N/A".
+std::string triple(double a, double b, double c, int precision = 1);
+/// Engineering formatting for counters: 1.72T, 107G, 26G...
+std::string eng(double value, int precision = 3);
+/// Human size for element counts: 2^k when exact, plain otherwise.
+std::string pow2_label(double n);
+
+}  // namespace pstlb::bench

@@ -1,0 +1,39 @@
+// Benchmark wrappers (Listings 3 and 4).
+//
+// PSTLB_WRAP_TIMING measures exactly the wrapped STL call — counters start
+// after setup and stop before teardown, mirroring the paper's use of the
+// Likwid Marker API — and feeds the manual time to Google Benchmark.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "counters/counters.hpp"
+#include "pstlb/common.hpp"
+
+// Usage, inside a `for (auto _ : state)` loop:
+//   PSTLB_WRAP_TIMING(state, "X::sort", f(policy, data));
+#define PSTLB_WRAP_TIMING(state, label, ...)                         \
+  do {                                                               \
+    ::pstlb::counters::region pstlb_region_(label);                  \
+    __VA_ARGS__;                                                     \
+    const auto& pstlb_sample_ = pstlb_region_.stop();                \
+    (state).SetIterationTime(pstlb_sample_.seconds);                 \
+  } while (0)
+
+namespace pstlb::bench {
+
+/// Listing 3's helper: runs `f(policy, data)` under WRAP_TIMING with a fresh
+/// setup step per iteration and reports processed bytes.
+template <class Policy, class Container, class Setup, class Function>
+void wrapper(benchmark::State& state, const char* label, Policy&& policy,
+             Container& data, Setup&& setup, Function&& f) {
+  for (auto _ : state) {
+    setup(data);
+    PSTLB_WRAP_TIMING(state, label, f(policy, data));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(data.size() * sizeof(typename Container::value_type)));
+}
+
+}  // namespace pstlb::bench

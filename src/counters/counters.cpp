@@ -1,0 +1,79 @@
+#include "counters/counters.hpp"
+
+namespace pstlb::counters {
+
+counter_set& counter_set::operator+=(const counter_set& other) {
+  instructions += other.instructions;
+  fp_scalar += other.fp_scalar;
+  fp_128 += other.fp_128;
+  fp_256 += other.fp_256;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  seconds += other.seconds;
+  return *this;
+}
+
+namespace {
+// Stack of active regions per thread. Work reported by kernels running on
+// worker threads attaches to the region of the *reporting* thread; the
+// bench harness runs kernels inline in the measuring thread's region, and
+// worker-thread kernels funnel through an atomic hand-off in report_work's
+// caller (bench_core), so a plain thread-local stack suffices here.
+thread_local std::vector<region*> tls_regions;
+}  // namespace
+
+void report_work(const counter_set& work);
+
+region::region(std::string_view name)
+    : name_(name), start_(std::chrono::steady_clock::now()) {
+  tls_regions.push_back(this);
+}
+
+const counter_set& region::stop() {
+  if (!stopped_) {
+    const auto end = std::chrono::steady_clock::now();
+    result_ = accumulated_;
+    result_.seconds = std::chrono::duration<double>(end - start_).count();
+    stopped_ = true;
+    if (!tls_regions.empty() && tls_regions.back() == this) {
+      tls_regions.pop_back();
+    }
+    marker_registry::instance().add(name_, result_);
+  }
+  return result_;
+}
+
+region::~region() { stop(); }
+
+void report_work(const counter_set& work) {
+  if (!tls_regions.empty()) {
+    // seconds is measured, not reported; guard against double counting.
+    counter_set w = work;
+    w.seconds = 0;
+    tls_regions.back()->accumulated_ += w;
+  }
+}
+
+marker_registry& marker_registry::instance() {
+  static marker_registry registry;
+  return registry;
+}
+
+void marker_registry::add(const std::string& name, const counter_set& sample) {
+  std::lock_guard lock(mutex_);
+  auto& stats = table_[name];
+  stats.total += sample;
+  ++stats.calls;
+}
+
+std::map<std::string, marker_stats> marker_registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return table_;
+}
+
+void marker_registry::reset() {
+  std::lock_guard lock(mutex_);
+  table_.clear();
+}
+
+}  // namespace pstlb::counters

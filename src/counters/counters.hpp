@@ -1,0 +1,96 @@
+// Hardware-performance-counter facade (PAPI high-level / Likwid Marker API
+// style, Section 3.2 of the paper).
+//
+// Two providers feed the same counter_set:
+//   - native: wall-clock time from steady_clock plus software-accounted
+//     traffic/flops that instrumented kernels report via report_work(). On
+//     the paper's machines these fields came from PAPI/Likwid; in this
+//     container there is no PMU access, so the software accounting plays
+//     that role (and is exact for our deterministic kernels).
+//   - sim: the machine simulator fills a counter_set analytically
+//     (instructions, vector-width split, memory volume) — this is what the
+//     Table 3/4 benches print.
+//
+// Regions follow the Likwid Marker discipline: counters cover only the
+// wrapped STL call, never setup or data shuffling.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pstlb::counters {
+
+struct counter_set {
+  double instructions = 0;   // executed instructions (any)
+  double fp_scalar = 0;      // scalar FLOP count
+  double fp_128 = 0;         // 128-bit packed FLOP instructions
+  double fp_256 = 0;         // 256-bit packed FLOP instructions
+  double bytes_read = 0;     // DRAM read volume
+  double bytes_written = 0;  // DRAM write volume
+  double seconds = 0;        // region wall time
+
+  counter_set& operator+=(const counter_set& other);
+
+  /// Total FLOPs counting packed lanes (2 per 128-bit, 4 per 256-bit op).
+  double flops() const { return fp_scalar + 2 * fp_128 + 4 * fp_256; }
+  double gflops_per_s() const { return seconds > 0 ? flops() / seconds * 1e-9 : 0; }
+  double bytes_total() const { return bytes_read + bytes_written; }
+  double bandwidth_gib_per_s() const {
+    return seconds > 0 ? bytes_total() / seconds / (1024.0 * 1024.0 * 1024.0) : 0;
+  }
+};
+
+/// Adds software-accounted work to the innermost active region of the
+/// calling thread's region stack (no-op when no region is active). Kernels
+/// in bench_core call this with their known traffic/flop counts.
+void report_work(const counter_set& work);
+
+/// RAII measurement region (the hw_counters_begin/end pair of Listing 4).
+class region {
+ public:
+  explicit region(std::string_view name);
+  ~region();
+  region(const region&) = delete;
+  region& operator=(const region&) = delete;
+
+  /// Finishes measurement early and returns the result. Idempotent.
+  const counter_set& stop();
+
+  const counter_set& result() const { return result_; }
+
+ private:
+  friend void report_work(const counter_set& work);
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  counter_set accumulated_;  // work reported while active
+  counter_set result_;
+  bool stopped_ = false;
+};
+
+/// Likwid-style marker aggregation: every region's result is folded into a
+/// process-wide table keyed by region name.
+struct marker_stats {
+  counter_set total;
+  std::uint64_t calls = 0;
+};
+
+class marker_registry {
+ public:
+  static marker_registry& instance();
+
+  void add(const std::string& name, const counter_set& sample);
+  std::map<std::string, marker_stats> snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, marker_stats> table_;
+};
+
+}  // namespace pstlb::counters

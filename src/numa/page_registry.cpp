@@ -1,0 +1,39 @@
+#include "numa/page_registry.hpp"
+
+namespace pstlb::numa {
+
+page_registry& page_registry::instance() {
+  static page_registry registry;
+  return registry;
+}
+
+void page_registry::record(const void* base, allocation_info info) {
+  std::lock_guard lock(mutex_);
+  map_[base] = info;
+}
+
+void page_registry::erase(const void* base) {
+  std::lock_guard lock(mutex_);
+  map_.erase(base);
+}
+
+std::optional<allocation_info> page_registry::lookup(const void* base) const {
+  std::lock_guard lock(mutex_);
+  const auto it = map_.find(base);
+  if (it == map_.end()) { return std::nullopt; }
+  return it->second;
+}
+
+std::size_t page_registry::live_allocations() const {
+  std::lock_guard lock(mutex_);
+  return map_.size();
+}
+
+std::size_t page_registry::live_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [base, info] : map_) { total += info.bytes; }
+  return total;
+}
+
+}  // namespace pstlb::numa

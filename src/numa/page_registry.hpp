@@ -1,0 +1,45 @@
+// Registry of live allocations and how their pages were first touched.
+//
+// The paper's Fig. 1 compares the default allocator (all pages first-touched
+// by the allocating thread, i.e. resident on one NUMA node) against the
+// custom parallel allocator (pages first-touched by the thread that will own
+// the chunk, i.e. spread across nodes). The registry records which strategy
+// produced each allocation so benches can report it and tests can assert it;
+// the simulator mirrors the same two placement models analytically.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace pstlb::numa {
+
+enum class placement {
+  sequential_touch,  // default allocator behaviour: all pages on one node
+  parallel_touch,    // pSTL-Bench custom allocator: pages spread by chunk owner
+};
+
+struct allocation_info {
+  std::size_t bytes = 0;
+  placement touched = placement::sequential_touch;
+  unsigned touch_threads = 1;
+};
+
+/// Thread-safe singleton map from allocation base pointer to its info.
+class page_registry {
+ public:
+  static page_registry& instance();
+
+  void record(const void* base, allocation_info info);
+  void erase(const void* base);
+  std::optional<allocation_info> lookup(const void* base) const;
+  std::size_t live_allocations() const;
+  std::size_t live_bytes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<const void*, allocation_info> map_;
+};
+
+}  // namespace pstlb::numa

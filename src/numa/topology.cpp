@@ -1,0 +1,47 @@
+#include "numa/topology.hpp"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+
+namespace pstlb::numa {
+
+namespace {
+
+topology_info discover() {
+  topology_info info;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  if (page > 0) { info.page_size = static_cast<std::size_t>(page); }
+  info.cores = std::thread::hardware_concurrency();
+  if (info.cores == 0) { info.cores = 1; }
+
+  // Count /sys/devices/system/node/nodeN entries when the sysfs NUMA
+  // interface is available; otherwise assume a single node.
+  std::error_code ec;
+  unsigned nodes = 0;
+  const std::filesystem::path base{"/sys/devices/system/node"};
+  if (std::filesystem::is_directory(base, ec) && !ec) {
+    for (const auto& entry : std::filesystem::directory_iterator(base, ec)) {
+      if (ec) { break; }
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("node", 0) == 0 &&
+          name.find_first_not_of("0123456789", 4) == std::string::npos &&
+          name.size() > 4) {
+        ++nodes;
+      }
+    }
+  }
+  info.numa_nodes = nodes > 0 ? nodes : 1;
+  return info;
+}
+
+}  // namespace
+
+const topology_info& topology() {
+  static const topology_info info = discover();
+  return info;
+}
+
+}  // namespace pstlb::numa

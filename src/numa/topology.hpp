@@ -1,0 +1,22 @@
+// Host topology discovery (page size, NUMA node count, core count).
+//
+// On the paper's machines this reports 2 or 8 NUMA nodes; inside a plain
+// container it usually reports a single node. The simulator (src/sim) does
+// not use this — it carries its own Machine descriptions from Table 2 —
+// but the native allocator and the native benches do.
+#pragma once
+
+#include <cstddef>
+
+namespace pstlb::numa {
+
+struct topology_info {
+  std::size_t page_size = 4096;
+  unsigned numa_nodes = 1;
+  unsigned cores = 1;
+};
+
+/// Cached process-wide topology snapshot.
+const topology_info& topology();
+
+}  // namespace pstlb::numa

@@ -1,0 +1,420 @@
+// Map-family parallel algorithms: element-wise independent operations.
+//
+// Each front-end mirrors its std:: counterpart with the execution policy as
+// the first argument, computes the input size, and funnels through
+// exec::dispatch — the sequential path is the plain std:: algorithm, the
+// parallel path is a backends::parallel_for over index ranges.
+#pragma once
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "backends/skeletons.hpp"
+#include "pstlb/exec.hpp"
+
+namespace pstlb {
+
+template <exec::ExecutionPolicy P, class It, class F>
+void for_each(P&& policy, It first, It last, F f) {
+  const index_t n = std::distance(first, last);
+  exec::dispatch<It>(
+      policy, n, [&] { std::for_each(first, last, f); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::for_each(first + b, first + e, f);
+        });
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Size, class F>
+It for_each_n(P&& policy, It first, Size count, F f) {
+  if (count <= Size{0}) { return first; }
+  const index_t n = static_cast<index_t>(count);
+  exec::dispatch<It>(
+      policy, n, [&] { std::for_each_n(first, count, f); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::for_each(first + b, first + e, f);
+        });
+      });
+  return std::next(first, static_cast<index_t>(count));
+}
+
+template <exec::ExecutionPolicy P, class It, class Out, class F>
+Out transform(P&& policy, It first, It last, Out out, F f) {
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It, Out>(
+      policy, n, [&] { return std::transform(first, last, out, f); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::transform(first + b, first + e, out + b, f);
+        });
+        return out + n;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2, class Out, class F>
+Out transform(P&& policy, It1 first1, It1 last1, It2 first2, Out out, F f) {
+  const index_t n = std::distance(first1, last1);
+  return exec::dispatch<It1, It2, Out>(
+      policy, n, [&] { return std::transform(first1, last1, first2, out, f); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::transform(first1 + b, first1 + e, first2 + b, out + b, f);
+        });
+        return out + n;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class T>
+void fill(P&& policy, It first, It last, const T& value) {
+  const index_t n = std::distance(first, last);
+  exec::dispatch<It>(
+      policy, n, [&] { std::fill(first, last, value); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::fill(first + b, first + e, value);
+        });
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Size, class T>
+It fill_n(P&& policy, It first, Size count, const T& value) {
+  if (count <= Size{0}) { return first; }
+  fill(policy, first, first + static_cast<index_t>(count), value);
+  return first + static_cast<index_t>(count);
+}
+
+/// Note on generate: the generator is stateful by definition, so the parallel
+/// version calls it independently per thread — results are only deterministic
+/// for stateless generators, matching std::generate(par, ...) requirements.
+template <exec::ExecutionPolicy P, class It, class Gen>
+void generate(P&& policy, It first, It last, Gen gen) {
+  const index_t n = std::distance(first, last);
+  exec::dispatch<It>(
+      policy, n, [&] { std::generate(first, last, gen); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          Gen local = gen;  // per-block copy, as permitted for par policies
+          std::generate(first + b, first + e, local);
+        });
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Size, class Gen>
+It generate_n(P&& policy, It first, Size count, Gen gen) {
+  if (count <= Size{0}) { return first; }
+  generate(policy, first, first + static_cast<index_t>(count), std::move(gen));
+  return first + static_cast<index_t>(count);
+}
+
+template <exec::ExecutionPolicy P, class It, class Out>
+Out copy(P&& policy, It first, It last, Out out) {
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It, Out>(
+      policy, n, [&] { return std::copy(first, last, out); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::copy(first + b, first + e, out + b);
+        });
+        return out + n;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Size, class Out>
+Out copy_n(P&& policy, It first, Size count, Out out) {
+  if (count <= Size{0}) { return out; }
+  return copy(policy, first, first + static_cast<index_t>(count), out);
+}
+
+template <exec::ExecutionPolicy P, class It, class Out>
+Out move(P&& policy, It first, It last, Out out) {
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It, Out>(
+      policy, n, [&] { return std::move(first, last, out); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::move(first + b, first + e, out + b);
+        });
+        return out + n;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2>
+It2 swap_ranges(P&& policy, It1 first1, It1 last1, It2 first2) {
+  const index_t n = std::distance(first1, last1);
+  return exec::dispatch<It1, It2>(
+      policy, n, [&] { return std::swap_ranges(first1, last1, first2); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::swap_ranges(first1 + b, first1 + e, first2 + b);
+        });
+        return first2 + n;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class T>
+void replace(P&& policy, It first, It last, const T& old_value, const T& new_value) {
+  const index_t n = std::distance(first, last);
+  exec::dispatch<It>(
+      policy, n, [&] { std::replace(first, last, old_value, new_value); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::replace(first + b, first + e, old_value, new_value);
+        });
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Pred, class T>
+void replace_if(P&& policy, It first, It last, Pred pred, const T& new_value) {
+  const index_t n = std::distance(first, last);
+  exec::dispatch<It>(
+      policy, n, [&] { std::replace_if(first, last, pred, new_value); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::replace_if(first + b, first + e, pred, new_value);
+        });
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Out, class T>
+Out replace_copy(P&& policy, It first, It last, Out out, const T& old_value,
+                 const T& new_value) {
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It, Out>(
+      policy, n, [&] { return std::replace_copy(first, last, out, old_value, new_value); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::replace_copy(first + b, first + e, out + b, old_value, new_value);
+        });
+        return out + n;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It>
+void reverse(P&& policy, It first, It last) {
+  const index_t n = std::distance(first, last);
+  exec::dispatch<It>(
+      policy, n, [&] { std::reverse(first, last); },
+      [&](auto be, index_t grain) {
+        // Swap mirrored halves: iteration space is the front half only.
+        backends::parallel_for(be, n / 2, grain, [&](index_t b, index_t e, unsigned) {
+          for (index_t i = b; i < e; ++i) {
+            std::iter_swap(first + i, first + (n - 1 - i));
+          }
+        });
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Out>
+Out reverse_copy(P&& policy, It first, It last, Out out) {
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It, Out>(
+      policy, n, [&] { return std::reverse_copy(first, last, out); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          for (index_t i = b; i < e; ++i) { out[n - 1 - i] = first[i]; }
+        });
+        return out + n;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Out>
+Out rotate_copy(P&& policy, It first, It middle, It last, Out out) {
+  const index_t lead = std::distance(middle, last);
+  Out tail = copy(policy, middle, last, out);
+  copy(policy, first, middle, tail);
+  return out + lead + std::distance(first, middle);
+}
+
+/// C++20 shift_left: moves [first+n, last) to [first, ...). The source and
+/// destination overlap, so the parallel version stages through a buffer
+/// (same strategy as rotate); returns the end of the resulting range.
+template <exec::ExecutionPolicy P, class It>
+It shift_left(P&& policy, It first, It last,
+              typename std::iterator_traits<It>::difference_type shift) {
+  using T = typename std::iterator_traits<It>::value_type;
+  const index_t n = std::distance(first, last);
+  if (shift <= 0) { return last; }
+  if (shift >= n) { return first; }
+  return exec::dispatch<It>(
+      policy, n, [&] { return std::shift_left(first, last, shift); },
+      [&](auto be, index_t grain) {
+        const index_t kept = n - shift;
+        std::vector<T> buffer(static_cast<std::size_t>(kept));
+        backends::parallel_for(be, kept, grain, [&](index_t b, index_t e, unsigned) {
+          std::move(first + shift + b, first + shift + e, buffer.begin() + b);
+        });
+        backends::parallel_for(be, kept, grain, [&](index_t b, index_t e, unsigned) {
+          std::move(buffer.begin() + b, buffer.begin() + e, first + b);
+        });
+        return first + kept;
+      });
+}
+
+/// C++20 shift_right: moves [first, last-n) to [first+n, ...); returns the
+/// beginning of the resulting range.
+template <exec::ExecutionPolicy P, class It>
+It shift_right(P&& policy, It first, It last,
+               typename std::iterator_traits<It>::difference_type shift) {
+  using T = typename std::iterator_traits<It>::value_type;
+  const index_t n = std::distance(first, last);
+  if (shift <= 0) { return first; }
+  if (shift >= n) { return last; }
+  return exec::dispatch<It>(
+      policy, n, [&] { return std::shift_right(first, last, shift); },
+      [&](auto be, index_t grain) {
+        const index_t kept = n - shift;
+        std::vector<T> buffer(static_cast<std::size_t>(kept));
+        backends::parallel_for(be, kept, grain, [&](index_t b, index_t e, unsigned) {
+          std::move(first + b, first + e, buffer.begin() + b);
+        });
+        backends::parallel_for(be, kept, grain, [&](index_t b, index_t e, unsigned) {
+          std::move(buffer.begin() + b, buffer.begin() + e, first + shift + b);
+        });
+        return first + shift;
+      });
+}
+
+/// adjacent_difference: out[i] = in[i] - in[i-1] (out[0] = in[0]). Each output
+/// depends on two *inputs* only, so blocks are independent as long as input
+/// and output do not alias in the parallel version (std imposes the same).
+/// Parallel rotate: out-of-place rotate_copy into a buffer, then move back.
+/// (Real backends do the same; an in-place parallel cycle rotation is not
+/// worth the synchronization.)
+template <exec::ExecutionPolicy P, class It>
+It rotate(P&& policy, It first, It middle, It last) {
+  using T = typename std::iterator_traits<It>::value_type;
+  const index_t n = std::distance(first, last);
+  const index_t shift = std::distance(first, middle);
+  if (shift == 0) { return last; }
+  if (shift == n) { return first; }
+  return exec::dispatch<It>(
+      policy, n, [&] { return std::rotate(first, middle, last); },
+      [&](auto be, index_t grain) {
+        std::vector<T> buffer(static_cast<std::size_t>(n));
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          for (index_t i = b; i < e; ++i) {
+            buffer[static_cast<std::size_t>(i)] = std::move(first[(i + shift) % n]);
+          }
+        });
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::move(buffer.begin() + b, buffer.begin() + e, first + b);
+        });
+        return first + (n - shift);
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Out, class Op>
+Out adjacent_difference(P&& policy, It first, It last, Out out, Op op) {
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It, Out>(
+      policy, n, [&] { return std::adjacent_difference(first, last, out, op); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          for (index_t i = b; i < e; ++i) {
+            if (i == 0) {
+              out[0] = first[0];
+            } else {
+              out[i] = op(first[i], first[i - 1]);
+            }
+          }
+        });
+        return out + n;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Out>
+Out adjacent_difference(P&& policy, It first, It last, Out out) {
+  return pstlb::adjacent_difference(std::forward<P>(policy), first, last, out,
+                                    std::minus<>{});
+}
+
+// --- uninitialized-memory and destruction family --------------------------
+
+template <exec::ExecutionPolicy P, class It>
+void destroy(P&& policy, It first, It last) {
+  const index_t n = std::distance(first, last);
+  exec::dispatch<It>(
+      policy, n, [&] { std::destroy(first, last); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::destroy(first + b, first + e);
+        });
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Size>
+It destroy_n(P&& policy, It first, Size count) {
+  if (count <= Size{0}) { return first; }
+  destroy(policy, first, first + static_cast<index_t>(count));
+  return first + static_cast<index_t>(count);
+}
+
+template <exec::ExecutionPolicy P, class It>
+void uninitialized_default_construct(P&& policy, It first, It last) {
+  const index_t n = std::distance(first, last);
+  exec::dispatch<It>(
+      policy, n, [&] { std::uninitialized_default_construct(first, last); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::uninitialized_default_construct(first + b, first + e);
+        });
+      });
+}
+
+template <exec::ExecutionPolicy P, class It>
+void uninitialized_value_construct(P&& policy, It first, It last) {
+  const index_t n = std::distance(first, last);
+  exec::dispatch<It>(
+      policy, n, [&] { std::uninitialized_value_construct(first, last); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::uninitialized_value_construct(first + b, first + e);
+        });
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class T>
+void uninitialized_fill(P&& policy, It first, It last, const T& value) {
+  const index_t n = std::distance(first, last);
+  exec::dispatch<It>(
+      policy, n, [&] { std::uninitialized_fill(first, last, value); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::uninitialized_fill(first + b, first + e, value);
+        });
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Out>
+Out uninitialized_copy(P&& policy, It first, It last, Out out) {
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It, Out>(
+      policy, n, [&] { return std::uninitialized_copy(first, last, out); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::uninitialized_copy(first + b, first + e, out + b);
+        });
+        return out + n;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Out>
+Out uninitialized_move(P&& policy, It first, It last, Out out) {
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It, Out>(
+      policy, n, [&] { return std::uninitialized_move(first, last, out); },
+      [&](auto be, index_t grain) {
+        backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          std::uninitialized_move(first + b, first + e, out + b);
+        });
+        return out + n;
+      });
+}
+
+}  // namespace pstlb

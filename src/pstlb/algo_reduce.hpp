@@ -1,0 +1,573 @@
+// Reduction- and search-family parallel algorithms.
+//
+// Reductions map onto backends::parallel_reduce (per-slot partials, ordered
+// fold); searches map onto backends::parallel_find (cancellable blocks,
+// fetch-min of the first hit), preserving first-occurrence semantics.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <iterator>
+#include <numeric>
+#include <utility>
+
+#include "backends/skeletons.hpp"
+#include "pstlb/exec.hpp"
+
+namespace pstlb {
+
+// --- reduce / transform_reduce ---------------------------------------------
+
+template <exec::ExecutionPolicy P, class It, class T, class Op>
+T reduce(P&& policy, It first, It last, T init, Op op) {
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It>(
+      policy, n, [&] { return std::reduce(first, last, std::move(init), op); },
+      [&](auto be, index_t grain) {
+        return backends::parallel_reduce(
+            be, n, grain, std::move(init),
+            [&](index_t b, index_t e) {
+              return std::reduce(first + b + 1, first + e, T(first[b]), op);
+            },
+            op);
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class T>
+T reduce(P&& policy, It first, It last, T init) {
+  return pstlb::reduce(std::forward<P>(policy), first, last, std::move(init),
+                       std::plus<>{});
+}
+
+template <exec::ExecutionPolicy P, class It>
+typename std::iterator_traits<It>::value_type reduce(P&& policy, It first, It last) {
+  using T = typename std::iterator_traits<It>::value_type;
+  return pstlb::reduce(std::forward<P>(policy), first, last, T{}, std::plus<>{});
+}
+
+template <exec::ExecutionPolicy P, class It, class T, class Reduce, class Transform>
+T transform_reduce(P&& policy, It first, It last, T init, Reduce reduce_op,
+                   Transform transform_op) {
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It>(
+      policy, n,
+      [&] {
+        return std::transform_reduce(first, last, std::move(init), reduce_op,
+                                     transform_op);
+      },
+      [&](auto be, index_t grain) {
+        return backends::parallel_reduce(
+            be, n, grain, std::move(init),
+            [&](index_t b, index_t e) {
+              T acc = transform_op(first[b]);
+              for (index_t i = b + 1; i < e; ++i) {
+                acc = reduce_op(std::move(acc), transform_op(first[i]));
+              }
+              return acc;
+            },
+            reduce_op);
+      });
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2, class T, class Reduce,
+          class Transform>
+T transform_reduce(P&& policy, It1 first1, It1 last1, It2 first2, T init,
+                   Reduce reduce_op, Transform transform_op) {
+  const index_t n = std::distance(first1, last1);
+  return exec::dispatch<It1, It2>(
+      policy, n,
+      [&] {
+        return std::transform_reduce(first1, last1, first2, std::move(init),
+                                     reduce_op, transform_op);
+      },
+      [&](auto be, index_t grain) {
+        return backends::parallel_reduce(
+            be, n, grain, std::move(init),
+            [&](index_t b, index_t e) {
+              T acc = transform_op(first1[b], first2[b]);
+              for (index_t i = b + 1; i < e; ++i) {
+                acc = reduce_op(std::move(acc), transform_op(first1[i], first2[i]));
+              }
+              return acc;
+            },
+            reduce_op);
+      });
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2, class T>
+T transform_reduce(P&& policy, It1 first1, It1 last1, It2 first2, T init) {
+  return pstlb::transform_reduce(std::forward<P>(policy), first1, last1, first2,
+                                 std::move(init), std::plus<>{}, std::multiplies<>{});
+}
+
+// --- count ------------------------------------------------------------------
+
+template <exec::ExecutionPolicy P, class It, class Pred>
+typename std::iterator_traits<It>::difference_type count_if(P&& policy, It first,
+                                                            It last, Pred pred) {
+  using D = typename std::iterator_traits<It>::difference_type;
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It>(
+      policy, n, [&] { return std::count_if(first, last, pred); },
+      [&](auto be, index_t grain) {
+        return backends::parallel_reduce(
+            be, n, grain, D{0},
+            [&](index_t b, index_t e) {
+              return static_cast<D>(std::count_if(first + b, first + e, pred));
+            },
+            std::plus<>{});
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class T>
+typename std::iterator_traits<It>::difference_type count(P&& policy, It first,
+                                                         It last, const T& value) {
+  return pstlb::count_if(std::forward<P>(policy), first, last,
+                         [&value](const auto& x) { return x == value; });
+}
+
+// --- min/max element --------------------------------------------------------
+
+namespace detail {
+/// (index, keep-earlier-on-tie) reduction step for min_element semantics:
+/// strictly-less wins; equal keeps the smaller index.
+template <class It, class Compare>
+index_t better_min(It first, Compare comp, index_t a, index_t b) {
+  const index_t lo = a < b ? a : b;
+  const index_t hi = a < b ? b : a;
+  return comp(first[hi], first[lo]) ? hi : lo;
+}
+/// max_element: first element strictly greater than everything before it.
+template <class It, class Compare>
+index_t better_max(It first, Compare comp, index_t a, index_t b) {
+  const index_t lo = a < b ? a : b;
+  const index_t hi = a < b ? b : a;
+  return comp(first[lo], first[hi]) ? hi : lo;
+}
+}  // namespace detail
+
+template <exec::ExecutionPolicy P, class It, class Compare>
+It min_element(P&& policy, It first, It last, Compare comp) {
+  const index_t n = std::distance(first, last);
+  if (n <= 0) { return last; }
+  return exec::dispatch<It>(
+      policy, n, [&] { return std::min_element(first, last, comp); },
+      [&](auto be, index_t grain) {
+        const index_t best = backends::parallel_reduce(
+            be, n, grain, index_t{0},
+            [&](index_t b, index_t e) {
+              return static_cast<index_t>(
+                  std::min_element(first + b, first + e, comp) - first);
+            },
+            [&](index_t a, index_t b) { return detail::better_min(first, comp, a, b); });
+        return first + best;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It>
+It min_element(P&& policy, It first, It last) {
+  return pstlb::min_element(std::forward<P>(policy), first, last, std::less<>{});
+}
+
+template <exec::ExecutionPolicy P, class It, class Compare>
+It max_element(P&& policy, It first, It last, Compare comp) {
+  const index_t n = std::distance(first, last);
+  if (n <= 0) { return last; }
+  return exec::dispatch<It>(
+      policy, n, [&] { return std::max_element(first, last, comp); },
+      [&](auto be, index_t grain) {
+        const index_t best = backends::parallel_reduce(
+            be, n, grain, index_t{0},
+            [&](index_t b, index_t e) {
+              return static_cast<index_t>(
+                  std::max_element(first + b, first + e, comp) - first);
+            },
+            [&](index_t a, index_t b) { return detail::better_max(first, comp, a, b); });
+        return first + best;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It>
+It max_element(P&& policy, It first, It last) {
+  return pstlb::max_element(std::forward<P>(policy), first, last, std::less<>{});
+}
+
+template <exec::ExecutionPolicy P, class It, class Compare>
+std::pair<It, It> minmax_element(P&& policy, It first, It last, Compare comp) {
+  const index_t n = std::distance(first, last);
+  if (n <= 0) { return {last, last}; }
+  return exec::dispatch<It>(
+      policy, n, [&] { return std::minmax_element(first, last, comp); },
+      [&](auto be, index_t grain) {
+        using pair_t = std::pair<index_t, index_t>;  // (first min, last max)
+        const pair_t best = backends::parallel_reduce(
+            be, n, grain, pair_t{0, 0},
+            [&](index_t b, index_t e) {
+              const auto mm = std::minmax_element(first + b, first + e, comp);
+              return pair_t{mm.first - first, mm.second - first};
+            },
+            [&](pair_t a, pair_t b) {
+              // min keeps the earlier on ties; max keeps the *later* on ties,
+              // matching std::minmax_element.
+              const index_t mn = detail::better_min(first, comp, a.first, b.first);
+              const index_t lo = a.second < b.second ? a.second : b.second;
+              const index_t hi = a.second < b.second ? b.second : a.second;
+              const index_t mx = comp(first[hi], first[lo]) ? lo : hi;
+              return pair_t{mn, mx};
+            });
+        return std::pair<It, It>{first + best.first, first + best.second};
+      });
+}
+
+template <exec::ExecutionPolicy P, class It>
+std::pair<It, It> minmax_element(P&& policy, It first, It last) {
+  return pstlb::minmax_element(std::forward<P>(policy), first, last, std::less<>{});
+}
+
+// --- find family ------------------------------------------------------------
+
+template <exec::ExecutionPolicy P, class It, class Pred>
+It find_if(P&& policy, It first, It last, Pred pred) {
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It>(
+      policy, n, [&] { return std::find_if(first, last, pred); },
+      [&](auto be, index_t grain) {
+        const index_t hit = backends::parallel_find(
+            be, n, grain, [&](index_t b, index_t e) {
+              return static_cast<index_t>(std::find_if(first + b, first + e, pred) -
+                                          first);
+            });
+        return first + hit;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Pred>
+It find_if_not(P&& policy, It first, It last, Pred pred) {
+  return pstlb::find_if(std::forward<P>(policy), first, last,
+                        [&pred](const auto& x) { return !pred(x); });
+}
+
+template <exec::ExecutionPolicy P, class It, class T>
+It find(P&& policy, It first, It last, const T& value) {
+  return pstlb::find_if(std::forward<P>(policy), first, last,
+                        [&value](const auto& x) { return x == value; });
+}
+
+template <exec::ExecutionPolicy P, class It, class Pred>
+bool any_of(P&& policy, It first, It last, Pred pred) {
+  return pstlb::find_if(std::forward<P>(policy), first, last, pred) != last;
+}
+
+template <exec::ExecutionPolicy P, class It, class Pred>
+bool none_of(P&& policy, It first, It last, Pred pred) {
+  return !pstlb::any_of(std::forward<P>(policy), first, last, pred);
+}
+
+template <exec::ExecutionPolicy P, class It, class Pred>
+bool all_of(P&& policy, It first, It last, Pred pred) {
+  return pstlb::find_if_not(std::forward<P>(policy), first, last, pred) == last;
+}
+
+template <exec::ExecutionPolicy P, class It, class Pred>
+It adjacent_find(P&& policy, It first, It last, Pred pred) {
+  const index_t n = std::distance(first, last);
+  if (n < 2) { return last; }
+  return exec::dispatch<It>(
+      policy, n, [&] { return std::adjacent_find(first, last, pred); },
+      [&](auto be, index_t grain) {
+        // Search the n-1 adjacent pairs; pair i = (v[i], v[i+1]).
+        const index_t hit = backends::parallel_find(
+            be, n - 1, grain, [&](index_t b, index_t e) {
+              for (index_t i = b; i < e; ++i) {
+                if (pred(first[i], first[i + 1])) { return i; }
+              }
+              return e;
+            });
+        return hit == n - 1 ? last : first + hit;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It>
+It adjacent_find(P&& policy, It first, It last) {
+  return pstlb::adjacent_find(std::forward<P>(policy), first, last, std::equal_to<>{});
+}
+
+// --- mismatch / equal -------------------------------------------------------
+
+template <exec::ExecutionPolicy P, class It1, class It2, class Pred>
+std::pair<It1, It2> mismatch(P&& policy, It1 first1, It1 last1, It2 first2, Pred pred) {
+  const index_t n = std::distance(first1, last1);
+  return exec::dispatch<It1, It2>(
+      policy, n, [&] { return std::mismatch(first1, last1, first2, pred); },
+      [&](auto be, index_t grain) {
+        const index_t hit = backends::parallel_find(
+            be, n, grain, [&](index_t b, index_t e) {
+              for (index_t i = b; i < e; ++i) {
+                if (!pred(first1[i], first2[i])) { return i; }
+              }
+              return e;
+            });
+        return std::pair<It1, It2>{first1 + hit, first2 + hit};
+      });
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2>
+std::pair<It1, It2> mismatch(P&& policy, It1 first1, It1 last1, It2 first2) {
+  return pstlb::mismatch(std::forward<P>(policy), first1, last1, first2,
+                         std::equal_to<>{});
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2, class Pred>
+std::pair<It1, It2> mismatch(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2,
+                             Pred pred) {
+  const index_t n =
+      std::min<index_t>(std::distance(first1, last1), std::distance(first2, last2));
+  auto result = pstlb::mismatch(std::forward<P>(policy), first1, first1 + n, first2, pred);
+  return result;
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2>
+std::pair<It1, It2> mismatch(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2) {
+  return pstlb::mismatch(std::forward<P>(policy), first1, last1, first2, last2,
+                         std::equal_to<>{});
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2, class Pred>
+bool equal(P&& policy, It1 first1, It1 last1, It2 first2, Pred pred) {
+  return pstlb::mismatch(std::forward<P>(policy), first1, last1, first2, pred).first ==
+         last1;
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2>
+bool equal(P&& policy, It1 first1, It1 last1, It2 first2) {
+  return pstlb::equal(std::forward<P>(policy), first1, last1, first2,
+                      std::equal_to<>{});
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2, class Pred>
+bool equal(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Pred pred) {
+  if (std::distance(first1, last1) != std::distance(first2, last2)) { return false; }
+  return pstlb::equal(std::forward<P>(policy), first1, last1, first2, pred);
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2>
+bool equal(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2) {
+  return pstlb::equal(std::forward<P>(policy), first1, last1, first2, last2,
+                      std::equal_to<>{});
+}
+
+// --- sortedness / heap / partition predicates --------------------------------
+
+template <exec::ExecutionPolicy P, class It, class Compare>
+It is_sorted_until(P&& policy, It first, It last, Compare comp) {
+  // First position i+1 such that comp(v[i+1], v[i]) — an adjacent_find with
+  // the inverted comparison, shifted by one.
+  auto hit = pstlb::adjacent_find(
+      std::forward<P>(policy), first, last,
+      [&comp](const auto& a, const auto& b) { return comp(b, a); });
+  return hit == last ? last : hit + 1;
+}
+
+template <exec::ExecutionPolicy P, class It>
+It is_sorted_until(P&& policy, It first, It last) {
+  return pstlb::is_sorted_until(std::forward<P>(policy), first, last, std::less<>{});
+}
+
+template <exec::ExecutionPolicy P, class It, class Compare>
+bool is_sorted(P&& policy, It first, It last, Compare comp) {
+  return pstlb::is_sorted_until(std::forward<P>(policy), first, last, comp) == last;
+}
+
+template <exec::ExecutionPolicy P, class It>
+bool is_sorted(P&& policy, It first, It last) {
+  return pstlb::is_sorted(std::forward<P>(policy), first, last, std::less<>{});
+}
+
+template <exec::ExecutionPolicy P, class It, class Compare>
+It is_heap_until(P&& policy, It first, It last, Compare comp) {
+  const index_t n = std::distance(first, last);
+  if (n < 2) { return last; }
+  return exec::dispatch<It>(
+      policy, n, [&] { return std::is_heap_until(first, last, comp); },
+      [&](auto be, index_t grain) {
+        // Element i violates the heap property iff comp(parent, child).
+        const index_t hit = backends::parallel_find(
+            be, n - 1, grain, [&](index_t b, index_t e) {
+              for (index_t i = b; i < e; ++i) {
+                const index_t child = i + 1;
+                if (comp(first[(child - 1) / 2], first[child])) { return i; }
+              }
+              return e;
+            });
+        return hit == n - 1 ? last : first + hit + 1;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It>
+It is_heap_until(P&& policy, It first, It last) {
+  return pstlb::is_heap_until(std::forward<P>(policy), first, last, std::less<>{});
+}
+
+template <exec::ExecutionPolicy P, class It, class Compare>
+bool is_heap(P&& policy, It first, It last, Compare comp) {
+  return pstlb::is_heap_until(std::forward<P>(policy), first, last, comp) == last;
+}
+
+template <exec::ExecutionPolicy P, class It>
+bool is_heap(P&& policy, It first, It last) {
+  return pstlb::is_heap(std::forward<P>(policy), first, last, std::less<>{});
+}
+
+template <exec::ExecutionPolicy P, class It, class Pred>
+bool is_partitioned(P&& policy, It first, It last, Pred pred) {
+  It boundary = pstlb::find_if_not(policy, first, last, pred);
+  if (boundary == last) { return true; }
+  return pstlb::none_of(std::forward<P>(policy), boundary, last, pred);
+}
+
+// --- lexicographical compare --------------------------------------------------
+
+template <exec::ExecutionPolicy P, class It1, class It2, class Compare>
+bool lexicographical_compare(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2,
+                             Compare comp) {
+  const index_t n1 = std::distance(first1, last1);
+  const index_t n2 = std::distance(first2, last2);
+  const index_t n = std::min(n1, n2);
+  // Find the first position where the ranges differ in either direction, then
+  // decide on that element; ties fall through to the length comparison.
+  auto differs = pstlb::mismatch(
+      policy, first1, first1 + n, first2,
+      [&comp](const auto& a, const auto& b) { return !comp(a, b) && !comp(b, a); });
+  if (differs.first != first1 + n) {
+    return comp(*differs.first, *differs.second);
+  }
+  return n1 < n2;
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2>
+bool lexicographical_compare(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2) {
+  return pstlb::lexicographical_compare(std::forward<P>(policy), first1, last1, first2,
+                                        last2, std::less<>{});
+}
+
+// --- subsequence searches ------------------------------------------------------
+
+template <exec::ExecutionPolicy P, class It1, class It2, class Pred>
+It1 find_first_of(P&& policy, It1 first1, It1 last1, It2 s_first, It2 s_last,
+                  Pred pred) {
+  const index_t n = std::distance(first1, last1);
+  return exec::dispatch<It1>(
+      policy, n,
+      [&] { return std::find_first_of(first1, last1, s_first, s_last, pred); },
+      [&](auto be, index_t grain) {
+        const index_t hit = backends::parallel_find(
+            be, n, grain, [&](index_t b, index_t e) {
+              return static_cast<index_t>(
+                  std::find_first_of(first1 + b, first1 + e, s_first, s_last, pred) -
+                  first1);
+            });
+        return first1 + hit;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2>
+It1 find_first_of(P&& policy, It1 first1, It1 last1, It2 s_first, It2 s_last) {
+  return pstlb::find_first_of(std::forward<P>(policy), first1, last1, s_first, s_last,
+                              std::equal_to<>{});
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2, class Pred>
+It1 search(P&& policy, It1 first1, It1 last1, It2 s_first, It2 s_last, Pred pred) {
+  const index_t n = std::distance(first1, last1);
+  const index_t m = std::distance(s_first, s_last);
+  if (m == 0) { return first1; }
+  if (m > n) { return last1; }
+  const index_t windows = n - m + 1;
+  return exec::dispatch<It1, It2>(
+      policy, windows,
+      [&] { return std::search(first1, last1, s_first, s_last, pred); },
+      [&](auto be, index_t grain) {
+        const index_t hit = backends::parallel_find(
+            be, windows, grain, [&](index_t b, index_t e) {
+              for (index_t i = b; i < e; ++i) {
+                if (std::equal(s_first, s_last, first1 + i, pred)) { return i; }
+              }
+              return e;
+            });
+        return hit == windows ? last1 : first1 + hit;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2>
+It1 search(P&& policy, It1 first1, It1 last1, It2 s_first, It2 s_last) {
+  return pstlb::search(std::forward<P>(policy), first1, last1, s_first, s_last,
+                       std::equal_to<>{});
+}
+
+template <exec::ExecutionPolicy P, class It, class Size, class T, class Pred>
+It search_n(P&& policy, It first, It last, Size count, const T& value, Pred pred) {
+  const index_t n = std::distance(first, last);
+  const index_t m = static_cast<index_t>(count);
+  if (m <= 0) { return first; }
+  if (m > n) { return last; }
+  const index_t windows = n - m + 1;
+  return exec::dispatch<It>(
+      policy, windows,
+      [&] { return std::search_n(first, last, count, value, pred); },
+      [&](auto be, index_t grain) {
+        const index_t hit = backends::parallel_find(
+            be, windows, grain, [&](index_t b, index_t e) {
+              for (index_t i = b; i < e; ++i) {
+                bool all = true;
+                for (index_t j = 0; j < m; ++j) {
+                  if (!pred(first[i + j], value)) {
+                    all = false;
+                    break;
+                  }
+                }
+                if (all) { return i; }
+              }
+              return e;
+            });
+        return hit == windows ? last : first + hit;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Size, class T>
+It search_n(P&& policy, It first, It last, Size count, const T& value) {
+  return pstlb::search_n(std::forward<P>(policy), first, last, count, value,
+                         std::equal_to<>{});
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2, class Pred>
+It1 find_end(P&& policy, It1 first1, It1 last1, It2 s_first, It2 s_last, Pred pred) {
+  const index_t n = std::distance(first1, last1);
+  const index_t m = std::distance(s_first, s_last);
+  if (m == 0 || m > n) { return last1; }
+  const index_t windows = n - m + 1;
+  return exec::dispatch<It1, It2>(
+      policy, windows,
+      [&] { return std::find_end(first1, last1, s_first, s_last, pred); },
+      [&](auto be, index_t grain) {
+        // Last occurrence: reduce block-local last matches with max.
+        const index_t best = backends::parallel_reduce(
+            be, windows, grain, index_t{-1},
+            [&](index_t b, index_t e) {
+              index_t found = -1;
+              for (index_t i = b; i < e; ++i) {
+                if (std::equal(s_first, s_last, first1 + i, pred)) { found = i; }
+              }
+              return found;
+            },
+            [](index_t a, index_t b) { return a > b ? a : b; });
+        return best < 0 ? last1 : first1 + best;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2>
+It1 find_end(P&& policy, It1 first1, It1 last1, It2 s_first, It2 s_last) {
+  return pstlb::find_end(std::forward<P>(policy), first1, last1, s_first, s_last,
+                         std::equal_to<>{});
+}
+
+}  // namespace pstlb

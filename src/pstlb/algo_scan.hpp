@@ -1,0 +1,290 @@
+// Scan-family parallel algorithms: prefix sums and the pack-based
+// (copy_if / remove / unique / partition_copy) algorithms built on the
+// two-pass count+emit skeleton.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <iterator>
+#include <numeric>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "backends/skeletons.hpp"
+#include "pstlb/exec.hpp"
+
+namespace pstlb {
+
+namespace detail {
+
+/// Shared implementation for all eight scan front-ends.
+/// `init` is folded in front of the sequence when present. `inclusive`
+/// selects whether out[i] includes element i.
+template <bool Inclusive, class P, class It, class Out, class T, class Op, class Unary>
+Out scan_impl(P&& policy, It first, It last, Out out, std::optional<T> init, Op op,
+              Unary unary) {
+  const index_t n = std::distance(first, last);
+  if (n == 0) { return out; }
+
+  auto scan_block = [&](index_t b, index_t e, std::optional<T> prefix) {
+    for (index_t i = b; i < e; ++i) {
+      T value = unary(first[i]);
+      if constexpr (Inclusive) {
+        T current = prefix.has_value() ? op(std::move(*prefix), std::move(value))
+                                       : std::move(value);
+        out[i] = current;
+        prefix.emplace(std::move(current));
+      } else {
+        out[i] = *prefix;  // exclusive scans always carry an init
+        prefix.emplace(op(std::move(*prefix), std::move(value)));
+      }
+    }
+  };
+
+  return exec::dispatch<It, Out>(
+      policy, n,
+      [&] {
+        scan_block(0, n, init);
+        return out + n;
+      },
+      [&](auto be, index_t grain) {
+        (void)grain;  // scans use fixed chunk tables, not the loop grain
+        backends::parallel_scan<decltype(be), T>(
+            be, n, op,
+            [&](index_t b, index_t e) {
+              T acc = unary(first[b]);
+              for (index_t i = b + 1; i < e; ++i) {
+                acc = op(std::move(acc), unary(first[i]));
+              }
+              return acc;
+            },
+            [&](index_t b, index_t e, T carry, bool has_carry) {
+              std::optional<T> prefix = init;
+              if (has_carry) {
+                prefix = prefix.has_value() ? op(std::move(*prefix), std::move(carry))
+                                            : std::move(carry);
+              }
+              scan_block(b, e, std::move(prefix));
+            });
+        return out + n;
+      });
+}
+
+struct identity_fn {
+  template <class X>
+  decltype(auto) operator()(X&& x) const {
+    return std::forward<X>(x);
+  }
+};
+
+}  // namespace detail
+
+// --- inclusive_scan -----------------------------------------------------------
+
+template <exec::ExecutionPolicy P, class It, class Out, class Op, class T>
+Out inclusive_scan(P&& policy, It first, It last, Out out, Op op, T init) {
+  return detail::scan_impl<true>(std::forward<P>(policy), first, last, out,
+                                 std::optional<T>{std::move(init)}, op,
+                                 detail::identity_fn{});
+}
+
+template <exec::ExecutionPolicy P, class It, class Out, class Op>
+Out inclusive_scan(P&& policy, It first, It last, Out out, Op op) {
+  using T = typename std::iterator_traits<It>::value_type;
+  return detail::scan_impl<true>(std::forward<P>(policy), first, last, out,
+                                 std::optional<T>{}, op, detail::identity_fn{});
+}
+
+template <exec::ExecutionPolicy P, class It, class Out>
+Out inclusive_scan(P&& policy, It first, It last, Out out) {
+  return pstlb::inclusive_scan(std::forward<P>(policy), first, last, out,
+                               std::plus<>{});
+}
+
+// --- exclusive_scan -----------------------------------------------------------
+
+template <exec::ExecutionPolicy P, class It, class Out, class T, class Op>
+Out exclusive_scan(P&& policy, It first, It last, Out out, T init, Op op) {
+  return detail::scan_impl<false>(std::forward<P>(policy), first, last, out,
+                                  std::optional<T>{std::move(init)}, op,
+                                  detail::identity_fn{});
+}
+
+template <exec::ExecutionPolicy P, class It, class Out, class T>
+Out exclusive_scan(P&& policy, It first, It last, Out out, T init) {
+  return pstlb::exclusive_scan(std::forward<P>(policy), first, last, out,
+                               std::move(init), std::plus<>{});
+}
+
+// --- transform scans ------------------------------------------------------------
+
+template <exec::ExecutionPolicy P, class It, class Out, class Op, class Unary>
+Out transform_inclusive_scan(P&& policy, It first, It last, Out out, Op op,
+                             Unary unary) {
+  using T = std::decay_t<decltype(unary(*first))>;
+  return detail::scan_impl<true>(std::forward<P>(policy), first, last, out,
+                                 std::optional<T>{}, op, unary);
+}
+
+template <exec::ExecutionPolicy P, class It, class Out, class Op, class Unary, class T>
+Out transform_inclusive_scan(P&& policy, It first, It last, Out out, Op op,
+                             Unary unary, T init) {
+  return detail::scan_impl<true>(std::forward<P>(policy), first, last, out,
+                                 std::optional<T>{std::move(init)}, op, unary);
+}
+
+template <exec::ExecutionPolicy P, class It, class Out, class T, class Op, class Unary>
+Out transform_exclusive_scan(P&& policy, It first, It last, Out out, T init, Op op,
+                             Unary unary) {
+  return detail::scan_impl<false>(std::forward<P>(policy), first, last, out,
+                                  std::optional<T>{std::move(init)}, op, unary);
+}
+
+// --- pack family (copy_if and friends) -------------------------------------------
+
+template <exec::ExecutionPolicy P, class It, class Out, class Pred>
+Out copy_if(P&& policy, It first, It last, Out out, Pred pred) {
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It, Out>(
+      policy, n, [&] { return std::copy_if(first, last, out, pred); },
+      [&](auto be, index_t grain) {
+        (void)grain;
+        const index_t total = backends::parallel_pack(
+            be, n,
+            [&](index_t b, index_t e) {
+              return static_cast<index_t>(std::count_if(first + b, first + e, pred));
+            },
+            [&](index_t b, index_t e, index_t offset, index_t) {
+              std::copy_if(first + b, first + e, out + offset, pred);
+            });
+        return out + total;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Out, class T>
+Out remove_copy(P&& policy, It first, It last, Out out, const T& value) {
+  return pstlb::copy_if(std::forward<P>(policy), first, last, out,
+                        [&value](const auto& x) { return !(x == value); });
+}
+
+template <exec::ExecutionPolicy P, class It, class Out, class Pred>
+Out remove_copy_if(P&& policy, It first, It last, Out out, Pred pred) {
+  return pstlb::copy_if(std::forward<P>(policy), first, last, out,
+                        [&pred](const auto& x) { return !pred(x); });
+}
+
+template <exec::ExecutionPolicy P, class It1, class Out1, class Out2, class Pred>
+std::pair<Out1, Out2> partition_copy(P&& policy, It1 first, It1 last, Out1 out_true,
+                                     Out2 out_false, Pred pred) {
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It1, Out1, Out2>(
+      policy, n,
+      [&] { return std::partition_copy(first, last, out_true, out_false, pred); },
+      [&](auto be, index_t grain) {
+        (void)grain;
+        // The pack offset counts matching elements before the chunk; the
+        // non-matching offset is derivable as (chunk begin - matching count).
+        const index_t total_true = backends::parallel_pack(
+            be, n,
+            [&](index_t b, index_t e) {
+              return static_cast<index_t>(std::count_if(first + b, first + e, pred));
+            },
+            [&](index_t b, index_t e, index_t true_offset, index_t) {
+              index_t t = true_offset;
+              index_t f = b - true_offset;
+              for (index_t i = b; i < e; ++i) {
+                if (pred(first[i])) {
+                  out_true[t++] = first[i];
+                } else {
+                  out_false[f++] = first[i];
+                }
+              }
+            });
+        return std::pair<Out1, Out2>{out_true + total_true,
+                                     out_false + (n - total_true)};
+      });
+}
+
+/// unique_copy keeps element i iff i == 0 or it differs from element i-1 —
+/// a pure function of the *input*, which is what makes the parallel pack
+/// legal (unlike in-place unique, which is rewritten via a buffer below).
+template <exec::ExecutionPolicy P, class It, class Out, class Pred>
+Out unique_copy(P&& policy, It first, It last, Out out, Pred pred) {
+  const index_t n = std::distance(first, last);
+  if (n == 0) { return out; }
+  auto keep = [&](index_t i) { return i == 0 || !pred(first[i - 1], first[i]); };
+  return exec::dispatch<It, Out>(
+      policy, n, [&] { return std::unique_copy(first, last, out, pred); },
+      [&](auto be, index_t grain) {
+        (void)grain;
+        const index_t total = backends::parallel_pack(
+            be, n,
+            [&](index_t b, index_t e) {
+              index_t kept = 0;
+              for (index_t i = b; i < e; ++i) { kept += keep(i) ? 1 : 0; }
+              return kept;
+            },
+            [&](index_t b, index_t e, index_t offset, index_t) {
+              for (index_t i = b; i < e; ++i) {
+                if (keep(i)) { out[offset++] = first[i]; }
+              }
+            });
+        return out + total;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class Out>
+Out unique_copy(P&& policy, It first, It last, Out out) {
+  return pstlb::unique_copy(std::forward<P>(policy), first, last, out,
+                            std::equal_to<>{});
+}
+
+// --- in-place removals (buffer + move back, as real backends do) -----------------
+
+template <exec::ExecutionPolicy P, class It, class Pred>
+It remove_if(P&& policy, It first, It last, Pred pred) {
+  using T = typename std::iterator_traits<It>::value_type;
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It>(
+      policy, n, [&] { return std::remove_if(first, last, pred); },
+      [&](auto be, index_t grain) {
+        (void)be;
+        (void)grain;
+        std::vector<T> kept(static_cast<std::size_t>(n));
+        auto end_kept = pstlb::remove_copy_if(policy, first, last, kept.begin(), pred);
+        const index_t count = end_kept - kept.begin();
+        pstlb::move(policy, kept.begin(), kept.begin() + count, first);
+        return first + count;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class T>
+It remove(P&& policy, It first, It last, const T& value) {
+  return pstlb::remove_if(std::forward<P>(policy), first, last,
+                          [&value](const auto& x) { return x == value; });
+}
+
+template <exec::ExecutionPolicy P, class It, class Pred>
+It unique(P&& policy, It first, It last, Pred pred) {
+  using T = typename std::iterator_traits<It>::value_type;
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It>(
+      policy, n, [&] { return std::unique(first, last, pred); },
+      [&](auto be, index_t grain) {
+        (void)be;
+        (void)grain;
+        std::vector<T> kept(static_cast<std::size_t>(n));
+        auto end_kept = pstlb::unique_copy(policy, first, last, kept.begin(), pred);
+        const index_t count = end_kept - kept.begin();
+        pstlb::move(policy, kept.begin(), kept.begin() + count, first);
+        return first + count;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It>
+It unique(P&& policy, It first, It last) {
+  return pstlb::unique(std::forward<P>(policy), first, last, std::equal_to<>{});
+}
+
+}  // namespace pstlb

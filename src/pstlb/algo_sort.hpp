@@ -1,0 +1,329 @@
+// Sort-family parallel algorithms.
+//
+// sort / stable_sort use a block-sorted + pairwise-merge-rounds mergesort;
+// every merge is split at merge-path diagonals into independent sub-merges
+// (see pstlb/detail/merge.hpp), so all phases are plain parallel_for loops
+// and therefore run on every backend.
+//
+// Requirements beyond the std versions (documented limitation): the parallel
+// paths use an out-of-place buffer, so value types must be default-
+// constructible and copy/move-assignable — true for every benchmark type.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "backends/skeletons.hpp"
+#include "pstlb/detail/merge.hpp"
+#include "pstlb/detail/multiway.hpp"
+#include "pstlb/exec.hpp"
+
+namespace pstlb {
+
+namespace detail {
+
+/// Reads the policy's multiway-sort preference (seq policies have none).
+template <class P>
+bool sort_multiway_of(const P& policy) {
+  if constexpr (exec::ParallelPolicy<P>) {
+    return policy.multiway_sort;
+  } else {
+    (void)policy;
+    return false;
+  }
+}
+
+struct sub_merge {
+  index_t a0, a1, b0, b1, out;
+};
+
+template <class B, class It, class Compare, bool Stable>
+void parallel_mergesort(const B& be, It first, index_t n, Compare comp,
+                        bool multiway = false) {
+  using T = typename std::iterator_traits<It>::value_type;
+  if (n < 2) { return; }
+
+  // Initial run count: a power of two near 2x the participant count, shrunk
+  // so runs never get degenerately small.
+  index_t runs = 1;
+  while (runs < static_cast<index_t>(be.threads()) * 2) { runs <<= 1; }
+  while (runs > 1 && ceil_div(n, runs) < 32) { runs >>= 1; }
+  const index_t run_len = ceil_div(n, runs);
+  runs = ceil_div(n, run_len);
+
+  // Phase 1: sort each run independently.
+  backends::parallel_for(be, runs, index_t{1}, [&](index_t rb, index_t re, unsigned) {
+    for (index_t r = rb; r < re; ++r) {
+      const index_t b = r * run_len;
+      const index_t e = std::min(n, b + run_len);
+      if constexpr (Stable) {
+        std::stable_sort(first + b, first + e, comp);
+      } else {
+        std::sort(first + b, first + e, comp);
+      }
+    }
+  });
+  if (runs == 1) { return; }
+
+  std::vector<T> buffer(static_cast<std::size_t>(n));
+
+  if (multiway) {
+    // Phase 2 (GNU style): a single parallel R-way merge pass.
+    std::vector<run_ref<It>> run_refs;
+    run_refs.reserve(static_cast<std::size_t>(runs));
+    for (index_t r = 0; r < runs; ++r) {
+      const index_t b = r * run_len;
+      run_refs.push_back({first + b, first + std::min(n, b + run_len)});
+    }
+    parallel_multiway_merge(be, run_refs, buffer.begin(), comp);
+    backends::parallel_for(be, n, [&](index_t b, index_t e, unsigned) {
+      std::move(buffer.begin() + b, buffer.begin() + e, first + b);
+    });
+    return;
+  }
+
+  // Phase 2 (TBB/HPX style): pairwise merge rounds, ping-ponging the buffer.
+  bool in_buffer = false;
+
+  const index_t per_task = std::max<index_t>(
+      index_t{1}, ceil_div(n, static_cast<index_t>(be.slots()) * 4));
+
+  auto do_round = [&](auto src, auto dst, index_t width) {
+    std::vector<sub_merge> jobs;
+    for (index_t base = 0; base < runs; base += 2 * width) {
+      const index_t ab = std::min(n, base * run_len);
+      const index_t ae = std::min(n, (base + width) * run_len);
+      const index_t bb = ae;
+      const index_t bend = std::min(n, (base + 2 * width) * run_len);
+      const index_t len_a = ae - ab;
+      const index_t len_b = bend - bb;
+      if (len_a + len_b == 0) { continue; }
+      if (len_b == 0) {
+        // Odd tail: carry the run across to keep all live data in `dst`.
+        for (index_t cb = ab; cb < ae; cb += per_task) {
+          jobs.push_back({cb, std::min(ae, cb + per_task), bb, bb, cb});
+        }
+        continue;
+      }
+      const index_t parts = std::max<index_t>(1, ceil_div(len_a + len_b, per_task));
+      for (const auto& piece :
+           make_merge_parts(src + ab, len_a, src + bb, len_b, parts, comp)) {
+        jobs.push_back({ab + piece.a0, ab + piece.a1, bb + piece.b0, bb + piece.b1,
+                        ab + piece.a0 + piece.b0});
+      }
+    }
+    backends::parallel_for(
+        be, static_cast<index_t>(jobs.size()), index_t{1},
+        [&](index_t jb, index_t je, unsigned) {
+          for (index_t j = jb; j < je; ++j) {
+            const sub_merge& job = jobs[static_cast<std::size_t>(j)];
+            if (job.b0 == job.b1) {
+              std::move(src + job.a0, src + job.a1, dst + job.out);
+            } else {
+              std::merge(std::make_move_iterator(src + job.a0),
+                         std::make_move_iterator(src + job.a1),
+                         std::make_move_iterator(src + job.b0),
+                         std::make_move_iterator(src + job.b1), dst + job.out, comp);
+            }
+          }
+        });
+  };
+
+  for (index_t width = 1; width < runs; width *= 2) {
+    if (!in_buffer) {
+      do_round(first, buffer.begin(), width);
+    } else {
+      do_round(buffer.begin(), first, width);
+    }
+    in_buffer = !in_buffer;
+  }
+  if (in_buffer) {
+    backends::parallel_for(be, n, [&](index_t b, index_t e, unsigned) {
+      std::move(buffer.begin() + b, buffer.begin() + e, first + b);
+    });
+  }
+}
+
+}  // namespace detail
+
+template <exec::ExecutionPolicy P, class It, class Compare>
+void sort(P&& policy, It first, It last, Compare comp) {
+  const index_t n = std::distance(first, last);
+  exec::dispatch<It>(
+      policy, n, [&] { std::sort(first, last, comp); },
+      [&](auto be, index_t grain) {
+        (void)grain;
+        detail::parallel_mergesort<decltype(be), It, Compare, false>(
+            be, first, n, comp, detail::sort_multiway_of(policy));
+      });
+}
+
+template <exec::ExecutionPolicy P, class It>
+void sort(P&& policy, It first, It last) {
+  pstlb::sort(std::forward<P>(policy), first, last, std::less<>{});
+}
+
+template <exec::ExecutionPolicy P, class It, class Compare>
+void stable_sort(P&& policy, It first, It last, Compare comp) {
+  const index_t n = std::distance(first, last);
+  exec::dispatch<It>(
+      policy, n, [&] { std::stable_sort(first, last, comp); },
+      [&](auto be, index_t grain) {
+        (void)grain;
+        detail::parallel_mergesort<decltype(be), It, Compare, true>(
+            be, first, n, comp, detail::sort_multiway_of(policy));
+      });
+}
+
+template <exec::ExecutionPolicy P, class It>
+void stable_sort(P&& policy, It first, It last) {
+  pstlb::stable_sort(std::forward<P>(policy), first, last, std::less<>{});
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2, class Out, class Compare>
+Out merge(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out out,
+          Compare comp) {
+  const index_t n1 = std::distance(first1, last1);
+  const index_t n2 = std::distance(first2, last2);
+  return exec::dispatch<It1, It2, Out>(
+      policy, n1 + n2,
+      [&] { return std::merge(first1, last1, first2, last2, out, comp); },
+      [&](auto be, index_t grain) {
+        (void)grain;
+        detail::parallel_merge_into(be, first1, n1, first2, n2, out, comp);
+        return out + n1 + n2;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It1, class It2, class Out>
+Out merge(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out out) {
+  return pstlb::merge(std::forward<P>(policy), first1, last1, first2, last2, out,
+                      std::less<>{});
+}
+
+template <exec::ExecutionPolicy P, class It, class Compare>
+void inplace_merge(P&& policy, It first, It middle, It last, Compare comp) {
+  using T = typename std::iterator_traits<It>::value_type;
+  const index_t n = std::distance(first, last);
+  exec::dispatch<It>(
+      policy, n, [&] { std::inplace_merge(first, middle, last, comp); },
+      [&](auto be, index_t grain) {
+        (void)grain;
+        const index_t n1 = std::distance(first, middle);
+        std::vector<T> buffer(static_cast<std::size_t>(n));
+        detail::parallel_merge_into(be, std::make_move_iterator(first), n1,
+                                    std::make_move_iterator(middle), n - n1,
+                                    buffer.begin(), comp);
+        backends::parallel_for(be, n, [&](index_t b, index_t e, unsigned) {
+          std::move(buffer.begin() + b, buffer.begin() + e, first + b);
+        });
+      });
+}
+
+template <exec::ExecutionPolicy P, class It>
+void inplace_merge(P&& policy, It first, It middle, It last) {
+  pstlb::inplace_merge(std::forward<P>(policy), first, middle, last, std::less<>{});
+}
+
+// --- partitioning -------------------------------------------------------------
+
+template <exec::ExecutionPolicy P, class It, class Pred>
+It stable_partition(P&& policy, It first, It last, Pred pred) {
+  using T = typename std::iterator_traits<It>::value_type;
+  const index_t n = std::distance(first, last);
+  return exec::dispatch<It>(
+      policy, n, [&] { return std::stable_partition(first, last, pred); },
+      [&](auto be, index_t grain) {
+        (void)grain;
+        std::vector<T> buffer(static_cast<std::size_t>(n));
+        const index_t count_true = backends::parallel_pack(
+            be, n,
+            [&](index_t b, index_t e) {
+              return static_cast<index_t>(std::count_if(first + b, first + e, pred));
+            },
+            [&](index_t b, index_t e, index_t true_offset, index_t total_true) {
+              index_t t = true_offset;
+              index_t f = total_true + (b - true_offset);
+              for (index_t i = b; i < e; ++i) {
+                if (pred(first[i])) {
+                  buffer[static_cast<std::size_t>(t++)] = std::move(first[i]);
+                } else {
+                  buffer[static_cast<std::size_t>(f++)] = std::move(first[i]);
+                }
+              }
+            });
+        backends::parallel_for(be, n, [&](index_t b, index_t e, unsigned) {
+          std::move(buffer.begin() + b, buffer.begin() + e, first + b);
+        });
+        return first + count_true;
+      });
+}
+
+/// partition has no stability requirement; the stable implementation is a
+/// valid (and parallel-friendly) one.
+template <exec::ExecutionPolicy P, class It, class Pred>
+It partition(P&& policy, It first, It last, Pred pred) {
+  return pstlb::stable_partition(std::forward<P>(policy), first, last, pred);
+}
+
+// --- order statistics ------------------------------------------------------------
+//
+// nth_element and partial_sort permit any implementation whose postcondition
+// holds; a full parallel sort satisfies both (the tail order of partial_sort
+// and both sides of nth_element are "unspecified", and sorted is a valid
+// instance of unspecified). This is also what NVC++'s stdpar does for
+// nth_element on GPUs.
+
+template <exec::ExecutionPolicy P, class It, class Compare>
+void nth_element(P&& policy, It first, It nth, It last, Compare comp) {
+  if (first == last || nth == last) { return; }
+  pstlb::sort(std::forward<P>(policy), first, last, comp);
+}
+
+template <exec::ExecutionPolicy P, class It>
+void nth_element(P&& policy, It first, It nth, It last) {
+  pstlb::nth_element(std::forward<P>(policy), first, nth, last, std::less<>{});
+}
+
+template <exec::ExecutionPolicy P, class It, class Compare>
+void partial_sort(P&& policy, It first, It middle, It last, Compare comp) {
+  if (first == middle) { return; }
+  pstlb::sort(std::forward<P>(policy), first, last, comp);
+}
+
+template <exec::ExecutionPolicy P, class It>
+void partial_sort(P&& policy, It first, It middle, It last) {
+  pstlb::partial_sort(std::forward<P>(policy), first, middle, last, std::less<>{});
+}
+
+template <exec::ExecutionPolicy P, class It, class RIt, class Compare>
+RIt partial_sort_copy(P&& policy, It first, It last, RIt d_first, RIt d_last,
+                      Compare comp) {
+  const index_t n = std::distance(first, last);
+  const index_t m = std::distance(d_first, d_last);
+  const index_t k = std::min(n, m);
+  if (k <= 0) { return d_first; }
+  return exec::dispatch<It, RIt>(
+      policy, n,
+      [&] { return std::partial_sort_copy(first, last, d_first, d_last, comp); },
+      [&](auto be, index_t grain) {
+        (void)be;
+        (void)grain;
+        using T = typename std::iterator_traits<It>::value_type;
+        std::vector<T> scratch(first, last);
+        pstlb::sort(policy, scratch.begin(), scratch.end(), comp);
+        pstlb::copy(policy, scratch.begin(), scratch.begin() + k, d_first);
+        return d_first + k;
+      });
+}
+
+template <exec::ExecutionPolicy P, class It, class RIt>
+RIt partial_sort_copy(P&& policy, It first, It last, RIt d_first, RIt d_last) {
+  return pstlb::partial_sort_copy(std::forward<P>(policy), first, last, d_first,
+                                  d_last, std::less<>{});
+}
+
+}  // namespace pstlb

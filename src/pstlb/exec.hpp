@@ -1,0 +1,174 @@
+// Execution policies.
+//
+// Like std::execution policies, these select an implementation; unlike the
+// std ones they are runtime-configurable values (thread count, scheduling
+// grain, sequential-fallback threshold), because configurability across
+// those knobs is precisely what pSTL-Bench studies.
+//
+// Policy -> paper backend correspondence:
+//   seq_policy        GCC-SEQ baseline
+//   fork_join_policy  GCC-GNU (GOMP static scheduling; defaults to the GNU
+//                     parallel mode's "sequential below 2^10" heuristic)
+//   steal_policy      GCC-TBB / ICC-TBB (work stealing, lazy splitting)
+//   task_policy       GCC-HPX (per-chunk futures through a central queue)
+//   omp_static_policy NVC-OMP (fork-join with no fallback threshold)
+//   omp_dynamic_policy extension: OpenMP schedule(dynamic) semantics
+#pragma once
+
+#include <algorithm>
+#include <iterator>
+#include <thread>
+#include <type_traits>
+
+#include "backends/backend.hpp"
+#include "backends/fork_join.hpp"
+#include "backends/nesting.hpp"
+#include "backends/omp_dynamic.hpp"
+#include "backends/seq.hpp"
+#include "backends/steal.hpp"
+#include "backends/task_futures.hpp"
+#include "pstlb/common.hpp"
+
+namespace pstlb::exec {
+
+/// Thread count used when a policy does not specify one: PSTL_NUM_THREADS,
+/// then OMP_NUM_THREADS (Section 3.2 of the paper), then hardware.
+inline unsigned default_threads() {
+  unsigned env = env_unsigned("PSTL_NUM_THREADS", 0);
+  if (env == 0) { env = env_unsigned("OMP_NUM_THREADS", 0); }
+  if (env == 0) { env = std::max(1u, std::thread::hardware_concurrency()); }
+  return env;
+}
+
+struct seq_policy {};
+
+namespace detail {
+struct parallel_policy_base {
+  /// Participants for parallel loops.
+  unsigned threads = default_threads();
+  /// Scheduling granularity in elements; 0 = automatic.
+  index_t grain = 0;
+  /// Inputs strictly smaller than this run sequentially (the GNU parallel
+  /// mode behaviour the paper observes around 2^10 elements).
+  index_t seq_threshold = 0;
+  /// Sort strategy: one R-way merge pass (GNU parallel mode's multiway
+  /// mergesort — Section 5.6) instead of log2(R) binary merge rounds.
+  bool multiway_sort = false;
+};
+}  // namespace detail
+
+struct fork_join_policy : detail::parallel_policy_base {
+  fork_join_policy() {
+    seq_threshold = index_t{1} << 10;
+    multiway_sort = true;  // the GNU algorithm this policy models
+  }
+  explicit fork_join_policy(unsigned t) : fork_join_policy() { threads = t; }
+};
+
+/// NVC-OMP-like: same fork-join engine, but parallelizes everything.
+struct omp_static_policy : detail::parallel_policy_base {
+  omp_static_policy() = default;
+  explicit omp_static_policy(unsigned t) { threads = t; }
+};
+
+/// Extension beyond the paper's set: dynamically-claimed chunks over the
+/// fork-join pool (OpenMP schedule(dynamic) semantics).
+struct omp_dynamic_policy : detail::parallel_policy_base {
+  omp_dynamic_policy() = default;
+  explicit omp_dynamic_policy(unsigned t) { threads = t; }
+};
+
+struct steal_policy : detail::parallel_policy_base {
+  steal_policy() = default;
+  explicit steal_policy(unsigned t) { threads = t; }
+};
+
+struct task_policy : detail::parallel_policy_base {
+  task_policy() = default;
+  explicit task_policy(unsigned t) { threads = t; }
+};
+
+/// Ready-made instances in the spirit of std::execution::seq / par.
+inline constexpr seq_policy seq{};
+
+template <class P>
+struct policy_traits;
+
+template <>
+struct policy_traits<fork_join_policy> {
+  using backend_type = backends::fork_join_backend;
+  static backend_type make(const fork_join_policy& p) { return backend_type(p.threads); }
+};
+template <>
+struct policy_traits<omp_static_policy> {
+  using backend_type = backends::fork_join_backend;
+  static backend_type make(const omp_static_policy& p) { return backend_type(p.threads); }
+};
+template <>
+struct policy_traits<omp_dynamic_policy> {
+  using backend_type = backends::omp_dynamic_backend;
+  static backend_type make(const omp_dynamic_policy& p) { return backend_type(p.threads); }
+};
+template <>
+struct policy_traits<steal_policy> {
+  using backend_type = backends::steal_backend;
+  static backend_type make(const steal_policy& p) { return backend_type(p.threads); }
+};
+template <>
+struct policy_traits<task_policy> {
+  using backend_type = backends::task_futures_backend;
+  static backend_type make(const task_policy& p) { return backend_type(p.threads); }
+};
+
+template <class P>
+inline constexpr bool is_seq_policy_v = std::is_same_v<std::decay_t<P>, seq_policy>;
+
+template <class P>
+concept ParallelPolicy =
+    std::is_base_of_v<detail::parallel_policy_base, std::decay_t<P>>;
+
+template <class P>
+concept ExecutionPolicy = ParallelPolicy<P> || is_seq_policy_v<P>;
+
+template <class It>
+inline constexpr bool random_access_v =
+    std::is_base_of_v<std::random_access_iterator_tag,
+                      typename std::iterator_traits<It>::iterator_category>;
+
+template <class... Its>
+inline constexpr bool all_random_access_v = (random_access_v<Its> && ...);
+
+/// Central dispatch: runs `par_fn(backend, grain)` when the policy, input
+/// size and nesting situation allow parallel execution, otherwise `seq_fn()`.
+/// Every algorithm front-end funnels through here so fallback rules live in
+/// exactly one place.
+///
+/// Iterator requirement: the parallel front-ends index iterators
+/// (`first + i`), so every iterator passed with a parallel policy must be
+/// random-access — the same practical requirement TBB-based backends have.
+/// (`Its...` documents which iterators the parallel body indexes; a non-RA
+/// instantiation fails to compile rather than silently serializing.)
+template <class... Its, class PolicyRef, class SeqFn, class ParFn>
+decltype(auto) dispatch(const PolicyRef& policy, index_t n, SeqFn&& seq_fn,
+                        ParFn&& par_fn)
+  requires ExecutionPolicy<std::decay_t<PolicyRef>>
+{
+  using Policy = std::decay_t<PolicyRef>;
+  if constexpr (is_seq_policy_v<Policy> || !all_random_access_v<Its...>) {
+    (void)policy;
+    (void)n;
+    (void)par_fn;
+    return seq_fn();
+  } else {
+    if (n < policy.seq_threshold || policy.threads <= 1 || n <= 1 ||
+        backends::in_parallel_region()) {
+      return seq_fn();
+    }
+    auto backend = policy_traits<Policy>::make(policy);
+    const index_t grain =
+        policy.grain > 0 ? policy.grain : backends::default_grain(n, policy.threads);
+    return par_fn(backend, grain);
+  }
+}
+
+}  // namespace pstlb::exec

@@ -1,0 +1,21 @@
+// pSTL-Bench umbrella header: execution policies + all parallel algorithms.
+//
+// Quick start:
+//
+//   #include <pstlb/pstlb.hpp>
+//   std::vector<double> v(1 << 20, 1.0);
+//   pstlb::exec::steal_policy par{8};                 // 8 threads, TBB-like
+//   double sum = pstlb::reduce(par, v.begin(), v.end());
+//   pstlb::sort(par, v.begin(), v.end());
+//
+// See DESIGN.md for the backend <-> paper correspondence and README.md for
+// the full algorithm list.
+#pragma once
+
+#include "pstlb/common.hpp"
+#include "pstlb/exec.hpp"
+#include "pstlb/algo_foreach.hpp"
+#include "pstlb/algo_reduce.hpp"
+#include "pstlb/algo_scan.hpp"
+#include "pstlb/algo_set.hpp"
+#include "pstlb/algo_sort.hpp"

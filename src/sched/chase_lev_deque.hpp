@@ -1,0 +1,148 @@
+// Chase–Lev work-stealing deque.
+//
+// Lock-free SPMC deque: the owner pushes/pops at the bottom, thieves steal
+// from the top. This is the classic structure behind TBB-style schedulers and
+// the substrate for the `steal` backend.
+//
+// The implementation follows Lê, Pop, Cohen & Zappa Nardelli, "Correct and
+// Efficient Work-Stealing for Weak Memory Models" (PPoPP'13), which gives the
+// C11-atomics version of Chase & Lev's original algorithm. Item type must be
+// trivially copyable (we store plain index ranges, never closures — per-chunk
+// state lives in a shared loop context instead).
+//
+// Core Guidelines note (CP.100 discourages hand-rolled lock-free code): this
+// is one of the two deliberately lock-free components in the repository; it is
+// the published algorithm verbatim and is covered by a dedicated stress test
+// (tests/sched/chase_lev_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "pstlb/common.hpp"
+
+namespace pstlb::sched {
+
+template <class T>
+class chase_lev_deque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "chase_lev_deque items must be trivially copyable");
+  static_assert(sizeof(T) <= 8,
+                "items must fit a hardware-atomic word (pack chunk indices; "
+                "larger payloads belong in the shared loop context)");
+
+ public:
+  explicit chase_lev_deque(std::size_t capacity_hint = 1024)
+      : array_(new ring(round_up(capacity_hint))) {}
+
+  ~chase_lev_deque() {
+    delete array_.load(std::memory_order_relaxed);
+    for (ring* old : retired_) { delete old; }
+  }
+
+  chase_lev_deque(const chase_lev_deque&) = delete;
+  chase_lev_deque& operator=(const chase_lev_deque&) = delete;
+
+  /// Owner-only: push an item at the bottom.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    ring* a = array_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
+      a = grow(a, t, b);
+    }
+    a->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner-only: pop from the bottom. Empty -> nullopt.
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    ring* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // deque was already empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T item = a->get(b);
+    if (t == b) {  // last element: race against thieves
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Thief: steal from the top. Empty or lost race -> nullopt.
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) { return std::nullopt; }
+    ring* a = array_.load(std::memory_order_consume);
+    T item = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;
+    }
+    return item;
+  }
+
+  /// Approximate size; exact only when quiescent.
+  std::size_t size_approx() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_approx() const noexcept { return size_approx() == 0; }
+
+ private:
+  struct ring {
+    explicit ring(std::size_t cap) : capacity(cap), mask(cap - 1), slots(cap) {}
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::vector<std::atomic<T>> slots;
+
+    T get(std::int64_t i) const noexcept {
+      return slots[static_cast<std::size_t>(i) & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T item) noexcept {
+      slots[static_cast<std::size_t>(i) & mask].store(item, std::memory_order_relaxed);
+    }
+  };
+
+  static std::size_t round_up(std::size_t v) {
+    std::size_t cap = 64;
+    while (cap < v) { cap <<= 1; }
+    return cap;
+  }
+
+  // Owner-only. Retired rings are kept until destruction: thieves may still
+  // hold a pointer to the old ring, and the item they read from it is
+  // validated by the top_ CAS, so reads from a stale ring are safe.
+  ring* grow(ring* old, std::int64_t t, std::int64_t b) {
+    ring* bigger = new ring(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) { bigger->put(i, old->get(i)); }
+    array_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  alignas(cache_line_size) std::atomic<std::int64_t> top_{0};
+  alignas(cache_line_size) std::atomic<std::int64_t> bottom_{0};
+  alignas(cache_line_size) std::atomic<ring*> array_;
+  std::vector<ring*> retired_;  // owner-only
+};
+
+}  // namespace pstlb::sched

@@ -1,0 +1,88 @@
+#include "sched/steal_pool.hpp"
+
+#include <algorithm>
+#include <random>
+#include <thread>
+
+namespace pstlb::sched {
+
+steal_pool::steal_pool(unsigned workers) : pool_(workers) {
+  ensure_deques(workers + 1);
+}
+
+void steal_pool::ensure_deques(unsigned participants) {
+  while (deques_.size() < participants) {
+    deques_.push_back(std::make_unique<chase_lev_deque<packed_chunks>>());
+  }
+}
+
+void steal_pool::run(unsigned participants, const loop_context& ctx) {
+  PSTLB_EXPECTS(participants >= 1);
+  PSTLB_EXPECTS(ctx.run != nullptr);
+  const index_t chunks = ctx.num_chunks();
+  if (chunks == 0) { return; }
+  if (participants == 1 || chunks == 1) {
+    for (index_t c = 0; c < chunks; ++c) { ctx.execute_chunk(c, 0); }
+    return;
+  }
+
+  std::lock_guard guard(run_mutex_);
+  ensure_deques(participants);
+  ctx_ = &ctx;
+  remaining_.store(chunks, std::memory_order_release);
+  // Seed the whole iteration space as one root range in the caller's deque;
+  // the splitting tree unfolds from here (TBB auto_partitioner style).
+  deques_[0]->push(pack_chunks(0, static_cast<std::uint32_t>(chunks)));
+
+  pool_.run(participants, [this](unsigned tid, unsigned nthreads) { work(tid, nthreads); });
+  ctx_ = nullptr;
+}
+
+void steal_pool::work(unsigned tid, unsigned nthreads) {
+  const loop_context& ctx = *ctx_;
+  auto& mine = *deques_[tid];
+  std::minstd_rand rng(tid * 0x9E3779B9u + 0x85EBCA6Bu);
+  int idle_spins = 0;
+
+  for (;;) {
+    std::optional<packed_chunks> item = mine.pop();
+    if (!item) {
+      if (remaining_.load(std::memory_order_acquire) == 0) { return; }
+      const unsigned victim = static_cast<unsigned>(rng()) % nthreads;
+      if (victim != tid) { item = deques_[victim]->steal(); }
+      if (!item) {
+        if (++idle_spins >= 64) {
+          std::this_thread::yield();
+          idle_spins = 0;
+        }
+        continue;
+      }
+    }
+    idle_spins = 0;
+
+    std::uint32_t begin = chunk_begin(*item);
+    std::uint32_t end = chunk_end(*item);
+    // Lazy binary splitting: shed upper halves into the local deque (where
+    // thieves take the largest pieces from the top) and execute the first
+    // chunk ourselves.
+    while (end - begin > 1) {
+      const std::uint32_t mid = begin + (end - begin) / 2;
+      mine.push(pack_chunks(mid, end));
+      end = mid;
+    }
+    ctx.execute_chunk(static_cast<index_t>(begin), tid);
+    remaining_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+steal_pool& steal_pool::global() {
+  static steal_pool pool = [] {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned env = std::max(env_unsigned("PSTL_NUM_THREADS", 0),
+                                  env_unsigned("OMP_NUM_THREADS", 0));
+    return steal_pool(std::max({hw, env, 4u}) - 1);
+  }();
+  return pool;
+}
+
+}  // namespace pstlb::sched

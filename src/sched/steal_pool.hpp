@@ -1,0 +1,46 @@
+// Work-stealing loop scheduler (the TBB-like substrate).
+//
+// Execution model mirrors TBB's auto_partitioner: the caller seeds one root
+// range covering all chunks; participants lazily binary-split ranges from the
+// bottom of their own Chase–Lev deque and steal from random victims when out
+// of local work. Loads balance through the splitting tree rather than a
+// central queue.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sched/chase_lev_deque.hpp"
+#include "sched/loop_context.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace pstlb::sched {
+
+class steal_pool {
+ public:
+  explicit steal_pool(unsigned workers);
+
+  steal_pool(const steal_pool&) = delete;
+  steal_pool& operator=(const steal_pool&) = delete;
+
+  /// Runs `ctx` over [0, ctx.n) with `participants` threads (the caller
+  /// participates). Blocks until every chunk has executed or been cancelled.
+  /// Concurrent calls from different threads are serialized.
+  void run(unsigned participants, const loop_context& ctx);
+
+  /// Process-wide pool shared by all steal policies.
+  static steal_pool& global();
+
+ private:
+  void work(unsigned tid, unsigned nthreads);
+  void ensure_deques(unsigned participants);
+
+  thread_pool pool_;
+  std::mutex run_mutex_;
+  std::vector<std::unique_ptr<chase_lev_deque<packed_chunks>>> deques_;
+  const loop_context* ctx_ = nullptr;
+  std::atomic<index_t> remaining_{0};
+};
+
+}  // namespace pstlb::sched

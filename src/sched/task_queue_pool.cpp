@@ -1,0 +1,127 @@
+#include "sched/task_queue_pool.hpp"
+
+#include <algorithm>
+
+namespace pstlb::sched {
+
+namespace {
+// Stable per-thread slot for loop-body accumulators. Slot 0 = any thread that
+// is not a pool worker (the run() caller — runs are serialized, so at most
+// one such thread executes chunks at a time).
+thread_local unsigned tls_slot = 0;
+}  // namespace
+
+task_queue_pool::task_queue_pool(unsigned workers) {
+  active_limit_ = ~0u;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, slot = i + 1] { worker_main(slot); });
+  }
+}
+
+task_queue_pool::~task_queue_pool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) { worker.join(); }
+  for (task_node* node : queue_) { delete node; }
+}
+
+void task_queue_pool::ensure(unsigned participants) {
+  std::lock_guard lock(mutex_);
+  const unsigned needed = participants == 0 ? 0 : participants - 1;
+  while (workers_.size() < needed) {
+    const unsigned slot = static_cast<unsigned>(workers_.size()) + 1;
+    workers_.emplace_back([this, slot] { worker_main(slot); });
+  }
+}
+
+void task_queue_pool::submit(std::function<void()> task) {
+  auto* node = new task_node{std::move(task)};
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(node);
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void task_queue_pool::wait_all() {
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+// Pops and runs one task. Returns false when the queue was empty.
+// `lock` is held on entry and on exit; dropped around the task body.
+bool task_queue_pool::run_one(std::unique_lock<std::mutex>& lock) {
+  if (queue_.empty()) { return false; }
+  task_node* node = queue_.front();
+  queue_.pop_front();
+  lock.unlock();
+  node->fn();
+  delete node;
+  lock.lock();
+  --in_flight_;
+  if (in_flight_ == 0) { done_cv_.notify_all(); }
+  return true;
+}
+
+void task_queue_pool::worker_main(unsigned slot) {
+  tls_slot = slot;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return stopping_ || (!queue_.empty() && active_workers_ < active_limit_);
+    });
+    if (stopping_) { return; }
+    ++active_workers_;
+    while (!queue_.empty()) {
+      run_one(lock);
+    }
+    --active_workers_;
+  }
+}
+
+void task_queue_pool::run(unsigned participants, const loop_context& ctx) {
+  PSTLB_EXPECTS(participants >= 1);
+  PSTLB_EXPECTS(ctx.run != nullptr);
+  const index_t chunks = ctx.num_chunks();
+  if (chunks == 0) { return; }
+  if (participants == 1 || chunks == 1) {
+    for (index_t c = 0; c < chunks; ++c) { ctx.execute_chunk(c, tls_slot); }
+    return;
+  }
+  ensure(participants);
+
+  std::lock_guard run_guard(run_mutex_);
+  {
+    std::lock_guard lock(mutex_);
+    active_limit_ = participants - 1;  // the caller is the extra participant
+  }
+  // One heap-allocated task per chunk — the deliberate HPX-like cost profile.
+  for (index_t c = 0; c < chunks; ++c) {
+    submit([&ctx, c] { ctx.execute_chunk(c, tls_slot); });
+  }
+  // The caller participates by draining the queue, then waits for stragglers.
+  {
+    std::unique_lock lock(mutex_);
+    while (run_one(lock)) {}
+    done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    active_limit_ = ~0u;
+  }
+  work_cv_.notify_all();
+}
+
+task_queue_pool& task_queue_pool::global() {
+  static task_queue_pool pool = [] {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned env = std::max(env_unsigned("PSTL_NUM_THREADS", 0),
+                                  env_unsigned("OMP_NUM_THREADS", 0));
+    return task_queue_pool(std::max({hw, env, 4u}) - 1);
+  }();
+  return pool;
+}
+
+}  // namespace pstlb::sched

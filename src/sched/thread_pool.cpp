@@ -1,0 +1,92 @@
+#include "sched/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace pstlb::sched {
+
+thread_pool::thread_pool(unsigned workers) {
+  workers_.reserve(workers);
+  for (unsigned tid = 1; tid <= workers; ++tid) {
+    workers_.emplace_back([this, tid] { worker_main(tid); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& worker : workers_) { worker.join(); }
+}
+
+void thread_pool::ensure(unsigned threads) {
+  std::lock_guard lock(mutex_);
+  // Participants = caller + workers, so `threads` needs `threads - 1` workers.
+  const unsigned needed = threads == 0 ? 0 : threads - 1;
+  while (workers_.size() < needed) {
+    const unsigned tid = static_cast<unsigned>(workers_.size()) + 1;
+    workers_.emplace_back([this, tid] { worker_main(tid); });
+  }
+}
+
+void thread_pool::run(unsigned threads, const region_fn& fn) {
+  PSTLB_EXPECTS(threads >= 1);
+  if (threads == 1) {
+    fn(0, 1);
+    return;
+  }
+  ensure(threads);
+  std::lock_guard region(region_mutex_);
+  {
+    std::unique_lock lock(mutex_);
+    PSTLB_EXPECTS(job_ == nullptr);  // no nested regions on one pool
+    job_ = &fn;
+    job_threads_ = threads;
+    remaining_ = threads - 1;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+
+  fn(0, threads);  // the caller is participant 0
+
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void thread_pool::worker_main(unsigned tid) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const region_fn* job = nullptr;
+    unsigned nthreads = 0;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stopping_ || (epoch_ != seen_epoch && job_ != nullptr && tid < job_threads_);
+      });
+      if (stopping_) { return; }
+      seen_epoch = epoch_;
+      job = job_;
+      nthreads = job_threads_;
+    }
+    (*job)(tid, nthreads);
+    {
+      std::lock_guard lock(mutex_);
+      --remaining_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+thread_pool& thread_pool::global() {
+  static thread_pool pool = [] {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned env = std::max(env_unsigned("PSTL_NUM_THREADS", 0),
+                                  env_unsigned("OMP_NUM_THREADS", 0));
+    return thread_pool(std::max({hw, env, 4u}) - 1);
+  }();
+  return pool;
+}
+
+}  // namespace pstlb::sched

@@ -1,0 +1,68 @@
+// Fork-join thread pool with static worker identities.
+//
+// This is the substrate for the `fork_join` backend (the GNU/OpenMP-like
+// static-scheduling model in the paper): a persistent set of workers that all
+// execute the same region function with (tid, nthreads) and synchronize on a
+// barrier at the end, exactly like an OpenMP `parallel` region.
+//
+// Design follows C++ Core Guidelines CP.41 (minimize thread creation): the
+// pool is created once and reused; regions are dispatched by epoch counter.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pstlb/common.hpp"
+
+namespace pstlb::sched {
+
+/// A persistent fork-join pool.
+///
+/// `run(threads, fn)` executes `fn(tid, threads)` on `threads` participants:
+/// the calling thread acts as tid 0 and `threads - 1` pool workers take tids
+/// 1..threads-1. The call returns after every participant finished (implicit
+/// barrier). Regions must not be nested on the same pool.
+class thread_pool {
+ public:
+  using region_fn = std::function<void(unsigned tid, unsigned nthreads)>;
+
+  explicit thread_pool(unsigned workers);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Number of pool workers (excludes the caller, which always participates).
+  unsigned worker_count() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Grows the pool so that regions of `threads` participants are possible.
+  void ensure(unsigned threads);
+
+  /// Runs `fn(tid, threads)` on `threads` participants and waits for all.
+  void run(unsigned threads, const region_fn& fn);
+
+  /// Process-wide pool shared by all fork_join policies. Initial size is
+  /// max(hardware_concurrency, PSTL_NUM_THREADS, OMP_NUM_THREADS); it grows
+  /// on demand when a policy requests more participants.
+  static thread_pool& global();
+
+ private:
+  void worker_main(unsigned tid);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex region_mutex_;  // serializes concurrent run() callers
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const region_fn* job_ = nullptr;  // guarded by mutex_
+  unsigned job_threads_ = 0;        // participants for the current epoch
+  std::uint64_t epoch_ = 0;         // bumped per region
+  unsigned remaining_ = 0;          // workers still inside the region
+  bool stopping_ = false;
+};
+
+}  // namespace pstlb::sched

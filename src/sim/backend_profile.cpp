@@ -1,0 +1,230 @@
+#include "sim/backend_profile.hpp"
+
+namespace pstlb::sim {
+
+namespace {
+const kernel_tuning default_tuning{};
+}
+
+const kernel_tuning& backend_profile::tuning(kernel k) const {
+  const auto it = tuning_map.find(k);
+  return it == tuning_map.end() ? default_tuning : it->second;
+}
+
+index_t backend_profile::seq_threshold(kernel k) const {
+  switch (k) {
+    case kernel::find: return seq_threshold_find;
+    case kernel::sort: return seq_threshold_sort;
+    default: return seq_threshold_foreach;
+  }
+}
+
+namespace profiles {
+
+// Calibration sources:
+//   instr_per_elem  — Tables 3 and 4 (instructions / (100 calls x 2^30)).
+//   traffic_mult    — Tables 3 (memory data volume / model's 24 GiB).
+//   vector_lanes    — Tables 3/4 FP-width rows (only ICC/HPX vectorize
+//                     reduce with 256-bit packed ops = 4 lanes).
+//   numa_gamma      — effective-bandwidth decay per extra NUMA node, fitted
+//                     to the Table 5 speedups and the Table 3/4 bandwidths
+//                     (e.g. HPX's 75.6 GiB/s on Mach A = 135 x 1/(1+0.8)).
+//   seq thresholds  — Section 5.2/5.3/5.6 (GNU parallelizes above 2^10
+//                     for_each / 2^9 find; TBB sort falls back below 2^9;
+//                     HPX sort below 2^15).
+//   binary sizes    — Table 7.
+
+const backend_profile& gcc_seq() {
+  static const backend_profile p = [] {
+    backend_profile b;
+    b.name = "GCC-SEQ";
+    b.engine = sched_kind::seq;
+    b.binary_size_mib = 2.52;
+    return b;
+  }();
+  return p;
+}
+
+const backend_profile& gcc_tbb() {
+  static const backend_profile p = [] {
+    backend_profile b;
+    b.name = "GCC-TBB";
+    b.engine = sched_kind::steal;
+    b.fork_s = 4e-6;          // task-tree spawn
+    b.per_thread_s = 0.25e-6; // wake cost amortized by the tree
+    b.per_chunk_s = 0.35e-6;
+    b.chunks_per_thread = 16; // auto_partitioner splits ~16 chunks/thread
+    b.seq_threshold_sort = index_t{1} << 9;  // Section 5.6
+    b.binary_size_mib = 17.21;
+    b.tuning_map[kernel::for_each] = {.traffic_mult = 0.89, .instr_per_elem = 16.0,
+                                      .numa_gamma = 0.40};
+    b.tuning_map[kernel::reduce] = {.traffic_mult = 1.05, .instr_per_elem = 1.75,
+                                    .numa_gamma = 0.22};
+    // Fig. 1: the parallel allocator *hurts* find (-24 %) and
+    // inclusive_scan (-19 %) — in-order scans prefer node-0-local pages.
+    b.tuning_map[kernel::find] = {.instr_per_elem = 4.0, .numa_gamma = 0.10,
+                                  .overshoot = 0.15, .first_touch_penalty = 1.24,
+                                  .seq_touch_efficient = true};
+    b.tuning_map[kernel::inclusive_scan] = {.instr_per_elem = 6.0, .numa_gamma = 0.15,
+                                            .efficiency = 0.60,
+                                            .first_touch_penalty = 1.19,
+                                            .seq_touch_efficient = true};
+    b.tuning_map[kernel::sort] = {.instr_per_elem = 40.0, .numa_gamma = 0.25,
+                                  .efficiency = 0.50, .compute_mult = 1.7,
+                                  .seq_touch_efficient = true};
+    return b;
+  }();
+  return p;
+}
+
+const backend_profile& gcc_gnu() {
+  static const backend_profile p = [] {
+    backend_profile b;
+    b.name = "GCC-GNU";
+    b.engine = sched_kind::static_chunks;
+    b.fork_s = 6e-6;           // GOMP barrier-based fork/join
+    b.per_thread_s = 0.5e-6;
+    b.per_chunk_s = 0.1e-6;
+    b.chunks_per_thread = 1;   // static: one slice per thread
+    b.seq_threshold_foreach = index_t{1} << 10;  // Section 5.2
+    b.seq_threshold_find = index_t{1} << 9;      // Section 5.3
+    b.sort_merge_rounds = 1;   // multiway mergesort: single P-way merge round
+    b.binary_size_mib = 5.31;
+    b.tuning_map[kernel::for_each] = {.traffic_mult = 0.80, .instr_per_elem = 22.4,
+                                      .numa_gamma = 0.35};
+    b.tuning_map[kernel::reduce] = {.traffic_mult = 0.77, .instr_per_elem = 2.11,
+                                    .numa_gamma = 0.45};
+    // Fig. 1: GNU "improves or maintains" everywhere — its find is
+    // placement-insensitive.
+    b.tuning_map[kernel::find] = {.instr_per_elem = 5.0, .numa_gamma = 0.30,
+                                  .overshoot = 0.20, .seq_touch_efficient = true};
+    // GNU parallel mode has no inclusive_scan at all (Section 5.4).
+    b.tuning_map[kernel::inclusive_scan] = {.unsupported = true};
+    b.tuning_map[kernel::exclusive_scan] = {.unsupported = true};
+    // Multiway mergesort with good thread/data placement (Section 5.6).
+    b.tuning_map[kernel::sort] = {.instr_per_elem = 45.0, .numa_gamma = 0.20,
+                                  .efficiency = 0.55, .compute_mult = 1.35,
+                                  .seq_touch_efficient = true};
+    return b;
+  }();
+  return p;
+}
+
+const backend_profile& gcc_hpx() {
+  static const backend_profile p = [] {
+    backend_profile b;
+    b.name = "GCC-HPX";
+    b.engine = sched_kind::futures;
+    b.fork_s = 15e-6;          // future/dataflow setup
+    b.per_thread_s = 1e-6;
+    b.per_chunk_s = 2.5e-6;    // per-chunk future allocation + scheduling
+    b.queue_s = 0.8e-6;        // serialized queue/registry operations
+    b.chunks_per_thread = 8;
+    b.seq_threshold_sort = index_t{1} << 15;  // Section 5.6
+    b.binary_size_mib = 61.98;
+    // Table 3: 3.83T instructions (2.2x TBB), 75.6 GiB/s on Mach A.
+    b.tuning_map[kernel::for_each] = {.traffic_mult = 0.77, .instr_per_elem = 35.7,
+                                      .numa_gamma = 1.60, .efficiency = 0.65};
+    // Table 4: 1.74T instructions (9x TBB) but 256-bit vectorized.
+    b.tuning_map[kernel::reduce] = {.traffic_mult = 0.77, .instr_per_elem = 16.2,
+                                    .vector_lanes = 4, .numa_gamma = 2.40,
+                                    .efficiency = 0.90};
+    b.tuning_map[kernel::find] = {.instr_per_elem = 12.0, .numa_gamma = 0.80,
+                                  .overshoot = 0.20};
+    b.tuning_map[kernel::inclusive_scan] = {.instr_per_elem = 14.0,
+                                            .numa_gamma = 1.0, .efficiency = 0.60};
+    b.tuning_map[kernel::sort] = {.instr_per_elem = 60.0, .numa_gamma = 0.50,
+                                  .efficiency = 0.50, .compute_mult = 1.6,
+                                  .seq_touch_efficient = true};
+    return b;
+  }();
+  return p;
+}
+
+const backend_profile& icc_tbb() {
+  static const backend_profile p = [] {
+    backend_profile b;
+    b.name = "ICC-TBB";
+    b.engine = sched_kind::steal;
+    b.fork_s = 4e-6;
+    b.per_thread_s = 0.25e-6;
+    b.per_chunk_s = 0.35e-6;
+    b.chunks_per_thread = 16;
+    b.seq_threshold_sort = index_t{1} << 9;
+    b.binary_size_mib = 16.64;
+    // Table 3: 1.55T instructions — leanest codegen of the five.
+    b.tuning_map[kernel::for_each] = {.traffic_mult = 0.90, .instr_per_elem = 14.4,
+                                      .numa_gamma = 0.40};
+    // Table 4: 107G instructions, 256-bit packed FP.
+    b.tuning_map[kernel::reduce] = {.traffic_mult = 0.96, .instr_per_elem = 1.0,
+                                    .vector_lanes = 4, .numa_gamma = 0.22};
+    b.tuning_map[kernel::find] = {.instr_per_elem = 4.0, .numa_gamma = 0.10,
+                                  .overshoot = 0.15, .first_touch_penalty = 1.22,
+                                  .seq_touch_efficient = true};
+    b.tuning_map[kernel::inclusive_scan] = {.instr_per_elem = 6.0, .numa_gamma = 0.15,
+                                            .efficiency = 0.60,
+                                            .first_touch_penalty = 1.19,
+                                            .seq_touch_efficient = true};
+    b.tuning_map[kernel::sort] = {.instr_per_elem = 42.0, .numa_gamma = 0.28,
+                                  .efficiency = 0.50, .compute_mult = 1.7,
+                                  .seq_touch_efficient = true};
+    return b;
+  }();
+  return p;
+}
+
+const backend_profile& nvc_omp() {
+  static const backend_profile p = [] {
+    backend_profile b;
+    b.name = "NVC-OMP";
+    b.engine = sched_kind::static_chunks;
+    b.fork_s = 2e-6;           // lowest launch overhead (Fig. 2, small sizes)
+    b.per_thread_s = 0.2e-6;
+    b.per_chunk_s = 0.05e-6;
+    b.chunks_per_thread = 1;
+    b.binary_size_mib = 1.81;
+    // Table 3: 1762 GiB per 100 calls — streaming stores skip the RFO.
+    b.tuning_map[kernel::for_each] = {.traffic_mult = 0.73, .instr_per_elem = 20.9,
+                                      .numa_gamma = 0.16};
+    b.tuning_map[kernel::reduce] = {.traffic_mult = 0.78, .instr_per_elem = 2.75,
+                                    .numa_gamma = 0.20};
+    // Table 5: find barely scales for NVC (1.2-1.4x off Mach A) — the
+    // OpenMP-based find cancels much too coarsely.
+    b.tuning_map[kernel::find] = {.instr_per_elem = 5.0, .numa_gamma = 0.45,
+                                  .overshoot = 0.30, .first_touch_penalty = 1.24,
+                                  .seq_touch_efficient = true};
+    // Section 5.4: NVC-OMP inclusive_scan falls back to sequential code,
+    // and NVC's scan codegen is ~15 % behind GCC's (Table 5: speedup 0.9).
+    b.tuning_map[kernel::inclusive_scan] = {.compute_mult = 1.15,
+                                            .sequential_fallback = true};
+    b.tuning_map[kernel::exclusive_scan] = {.compute_mult = 1.15,
+                                            .sequential_fallback = true};
+    b.tuning_map[kernel::sort] = {.instr_per_elem = 44.0, .numa_gamma = 0.50,
+                                  .efficiency = 0.45, .compute_mult = 2.0,
+                                  .seq_touch_efficient = true};
+    return b;
+  }();
+  return p;
+}
+
+const std::vector<const backend_profile*>& parallel() {
+  static const std::vector<const backend_profile*> list{
+      &gcc_tbb(), &gcc_gnu(), &gcc_hpx(), &icc_tbb(), &nvc_omp()};
+  return list;
+}
+
+const std::vector<const backend_profile*>& all() {
+  static const std::vector<const backend_profile*> list{
+      &gcc_seq(), &gcc_tbb(), &gcc_gnu(), &gcc_hpx(), &icc_tbb(), &nvc_omp()};
+  return list;
+}
+
+const backend_profile& by_name(std::string_view name) {
+  for (const backend_profile* p : all()) {
+    if (p->name == name) { return *p; }
+  }
+  contract_failure("precondition", "known backend profile name", __FILE__, __LINE__);
+}
+
+}  // namespace profiles
+}  // namespace pstlb::sim

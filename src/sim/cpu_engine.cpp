@@ -1,0 +1,283 @@
+#include "sim/cpu_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "sim/memory_system.hpp"
+
+namespace pstlb::sim {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Cycles per element of a phase: a small fixed bookkeeping cost plus the
+/// op chain. Vectorizable phases retire ~1 op/cycle scalar (unrolled) or
+/// `lanes` ops/cycle when the backend vectorizes them; non-vectorizable
+/// chains pay the phase's latency-bound per-op cost.
+double cycles_per_elem(const phase& ph, unsigned lanes) {
+  if (ph.vectorizable) {
+    return 0.5 + ph.flops_per_elem / static_cast<double>(std::max(1u, lanes));
+  }
+  return ph.base_cycles + ph.flops_per_elem * ph.cycles_per_op;
+}
+
+struct sim_task {
+  double cycles = 0;
+  double bytes = 0;
+  unsigned home = 0;
+};
+
+/// Max-min fair-sharing event loop. Returns the makespan in seconds.
+/// `dynamic` = work-stealing/futures style (idle core takes the next task);
+/// otherwise tasks are statically pre-sliced across cores.
+double run_phase_des(const machine& m, const memory_system& mem, memory_tier tier,
+                     std::vector<sim_task> tasks, unsigned threads, bool dynamic,
+                     bool local_pages, double compute_rate_hz, double mem_mult) {
+  if (tasks.empty()) { return 0; }
+  const unsigned t = std::max(1u, threads);
+  const double hz = compute_rate_hz;
+
+  struct core_state {
+    std::ptrdiff_t current = -1;  // index into tasks, -1 = idle
+    std::size_t next_static = 0;  // cursor into its static slice
+  };
+  std::vector<core_state> cores(t);
+  // Static pre-assignment: contiguous slices, like an OpenMP static schedule.
+  std::vector<std::vector<std::size_t>> static_slices;
+  std::size_t dynamic_next = 0;
+  if (!dynamic) {
+    static_slices.assign(t, {});
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      static_slices[i * t / tasks.size()].push_back(i);
+    }
+  }
+
+  auto take_next = [&](unsigned core) -> std::ptrdiff_t {
+    if (dynamic) {
+      if (dynamic_next >= tasks.size()) { return -1; }
+      const auto idx = static_cast<std::ptrdiff_t>(dynamic_next++);
+      if (local_pages) {
+        // Parallel first touch + dynamic scheduling: the executing thread is
+        // (almost always) the toucher, so the chunk's pages are node-local.
+        tasks[static_cast<std::size_t>(idx)].home = mem.node_of_core(core);
+      }
+      return idx;
+    }
+    auto& slice = static_slices[core];
+    auto& cursor = cores[core].next_static;
+    if (cursor >= slice.size()) { return -1; }
+    return static_cast<std::ptrdiff_t>(slice[cursor++]);
+  };
+
+  for (unsigned c = 0; c < t; ++c) { cores[c].current = take_next(c); }
+
+  double clock = 0;
+  std::size_t remaining = tasks.size();
+  std::vector<unsigned> streams(m.numa_nodes, 0);
+
+  while (remaining > 0) {
+    // Count memory streams per node.
+    std::fill(streams.begin(), streams.end(), 0u);
+    for (unsigned c = 0; c < t; ++c) {
+      const auto idx = cores[c].current;
+      if (idx >= 0 && tasks[static_cast<std::size_t>(idx)].bytes > kEps) {
+        ++streams[tasks[static_cast<std::size_t>(idx)].home];
+      }
+    }
+    // Earliest completion under current rates.
+    double dt = std::numeric_limits<double>::infinity();
+    for (unsigned c = 0; c < t; ++c) {
+      const auto idx = cores[c].current;
+      if (idx < 0) { continue; }
+      const sim_task& task = tasks[static_cast<std::size_t>(idx)];
+      double finish = 0;
+      if (task.cycles > kEps) { finish = task.cycles / hz; }
+      if (task.bytes > kEps) {
+        const double rate =
+            mem.stream_rate_gbs(tier, streams[task.home]) * 1e9 * mem_mult;
+        finish = std::max(finish, task.bytes / rate);
+      }
+      dt = std::min(dt, std::max(finish, kEps));
+    }
+    if (!std::isfinite(dt)) { break; }  // defensive: no runnable work
+    clock += dt;
+    // Progress everything by dt; retire finished tasks.
+    for (unsigned c = 0; c < t; ++c) {
+      const auto idx = cores[c].current;
+      if (idx < 0) { continue; }
+      sim_task& task = tasks[static_cast<std::size_t>(idx)];
+      if (task.cycles > kEps) {
+        task.cycles = std::max(0.0, task.cycles - hz * dt);
+      }
+      if (task.bytes > kEps) {
+        const double rate =
+            mem.stream_rate_gbs(tier, streams[task.home]) * 1e9 * mem_mult;
+        task.bytes = std::max(0.0, task.bytes - rate * dt);
+      }
+      if (task.cycles <= kEps && task.bytes <= kEps) {
+        --remaining;
+        cores[c].current = take_next(c);
+      }
+    }
+  }
+  return clock;
+}
+
+/// Sequential execution of one phase on core 0 at single-stream rates.
+double run_phase_seq(const machine& m, const memory_system& mem, memory_tier tier,
+                     double elems, double cpe, double bytes_per_elem,
+                     double code_factor) {
+  const double compute_s = elems * cpe / (m.freq_ghz * 1e9) * code_factor;
+  const double mem_s = elems * bytes_per_elem / (mem.stream_rate_gbs(tier, 1) * 1e9);
+  return std::max(compute_s, mem_s);
+}
+
+}  // namespace
+
+engine_result simulate_cpu(const engine_config& config) {
+  PSTLB_EXPECTS(config.mach != nullptr && config.prof != nullptr);
+  const machine& m = *config.mach;
+  const backend_profile& prof = *config.prof;
+  const kernel_params& params = config.params;
+  const kernel_tuning& tune = prof.tuning(params.kind);
+
+  engine_result result;
+  if (tune.unsupported) {
+    result.supported = false;
+    return result;
+  }
+
+  const unsigned threads = std::min(config.threads, m.cores);
+  const bool sequential = prof.engine == sched_kind::seq || threads <= 1 ||
+                          tune.sequential_fallback ||
+                          params.n < static_cast<double>(prof.seq_threshold(params.kind));
+
+  algo_shape shape{.parallel_version = !sequential,
+                   .threads = sequential ? 1 : threads,
+                   .sort_merge_rounds = prof.sort_merge_rounds};
+  const auto phases = phases_for(params, shape);
+
+  // seq_touch_efficient kernels see spread-equivalent placement even under
+  // the default allocator (Fig. 1's find/inclusive_scan observation).
+  const bool spread = !sequential &&
+                      (config.alloc == numa::placement::parallel_touch ||
+                       tune.seq_touch_efficient);
+  // first_touch_penalty only applies when the *custom* allocator was used.
+  const bool custom_alloc = config.alloc == numa::placement::parallel_touch;
+  // numa_gamma models the cost of managing *spread* data across nodes; with
+  // everything on node 0 the bottleneck is that node's controllers instead.
+  unsigned nodes_in_use = 1;
+  if (!sequential && spread) {
+    nodes_in_use = config.placement == thread_placement::compact
+                       ? std::min(m.numa_nodes,
+                                  static_cast<unsigned>(ceil_div(
+                                      threads, std::max(1u, m.cores_per_node()))))
+                       : std::min(threads, m.numa_nodes);
+  }
+  const memory_system mem(m, tune.numa_gamma * m.numa_scale, nodes_in_use, spread,
+                          config.placement);
+
+  // The effective parallelism cap (HPX-style plateau): extra threads still
+  // pay overhead but do not execute chunks.
+  const unsigned exec_threads = static_cast<unsigned>(
+      std::min<double>(threads, std::max(1.0, tune.max_threads)));
+
+  double total_s = 0;
+  result.phases.reserve(phases.size());
+  for (const phase& ph : phases) {
+    const double exec_frac =
+        ph.executed_fraction < 1.0 && !sequential
+            ? std::min(1.0, ph.executed_fraction + tune.overshoot)
+            : ph.executed_fraction;
+    const double elems = ph.elems * exec_frac;
+    if (elems <= 0) { continue; }
+
+    const double cpe = cycles_per_elem(ph, tune.vector_lanes);
+    double bytes_per_elem = (ph.reads_per_elem + ph.writes_per_elem) * tune.traffic_mult;
+    if (spread && custom_alloc) { bytes_per_elem *= tune.first_touch_penalty; }
+    const memory_tier tier =
+        mem.tier_for(ph.working_set_bytes, sequential ? 1 : exec_threads);
+
+    if (sequential || !ph.parallel) {
+      // The sequential path runs the plain sequential code; compute_mult
+      // (parallel-code overhead) only applies when the backend *silently
+      // substitutes* its own sequential code (NVC-OMP's scan fallback).
+      const double factor =
+          prof.seq_code_factor * (tune.sequential_fallback ? tune.compute_mult : 1.0);
+      const double phase_s =
+          run_phase_seq(m, mem, tier, elems, cpe, bytes_per_elem, factor);
+      total_s += phase_s;
+      result.phases.push_back({ph.label, phase_s, elems * bytes_per_elem,
+                               elems * ph.flops_per_elem, 0, false, tier});
+      continue;
+    }
+
+    // Chunked parallel phase.
+    const double nchunks_d =
+        std::max(1.0, std::floor(static_cast<double>(exec_threads) * prof.chunks_per_thread));
+    const std::size_t nchunks = static_cast<std::size_t>(nchunks_d);
+    const double elems_per_chunk = elems / nchunks_d;
+    std::vector<sim_task> tasks(nchunks);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      tasks[c].cycles = elems_per_chunk * cpe * tune.compute_mult;
+      tasks[c].bytes = elems_per_chunk * bytes_per_elem;
+      // Home node: round-robin over the nodes the threads span (parallel
+      // touch) or node 0 (sequential touch). For static engines chunk c runs
+      // on core c*t/n, so assign homes consistently with that mapping.
+      const unsigned owner = static_cast<unsigned>(c * exec_threads / nchunks);
+      tasks[c].home = mem.home_node(owner);
+    }
+    const bool dynamic = prof.engine != sched_kind::static_chunks;
+    // All-core compute efficiency degrades linearly from 1 (single thread)
+    // to the machine's par_compute_eff (all cores busy). The futures engine
+    // additionally loses compute to cross-node scheduling jitter (the HPX
+    // k_it = 1000 shortfall on the 8-node machines in Table 5).
+    const double frac_loaded =
+        m.cores > 1 ? static_cast<double>(exec_threads - 1) / (m.cores - 1) : 0.0;
+    double compute_eff = 1.0 - (1.0 - m.par_compute_eff) * frac_loaded;
+    if (prof.engine == sched_kind::futures) {
+      compute_eff /= 1.0 + 0.03 * static_cast<double>(nodes_in_use - 1);
+    }
+    const double compute_rate = m.freq_ghz * 1e9 * compute_eff;
+    // tune.efficiency models memory-side management quality only.
+    double phase_s = run_phase_des(m, mem, tier, std::move(tasks), exec_threads,
+                                   dynamic, spread, compute_rate, tune.efficiency);
+    // Scheduling overheads.
+    phase_s += prof.fork_s + prof.per_thread_s * threads;
+    phase_s += prof.per_chunk_s * nchunks_d / exec_threads;
+    if (prof.engine == sched_kind::futures) {
+      // Central queue: dequeues serialize; the phase cannot beat that floor.
+      phase_s = std::max(phase_s, prof.queue_s * nchunks_d) +
+                prof.queue_s * nchunks_d / exec_threads;
+    }
+    total_s += phase_s;
+    result.phases.push_back({ph.label, phase_s, elems * bytes_per_elem,
+                             elems * ph.flops_per_elem, nchunks, true, tier});
+  }
+
+  // Counters (per call, matching the Likwid region of Listing 4).
+  const double n = params.n;
+  result.seconds = total_s;
+  result.ctrs.seconds = total_s;
+  result.ctrs.instructions = n * tune.instr_per_elem;
+  double flops = 0;
+  for (const phase& ph : phases) { flops += ph.elems * ph.executed_fraction * ph.flops_per_elem; }
+  if (tune.vector_lanes >= 4) {
+    result.ctrs.fp_256 = flops / 4.0;
+  } else if (tune.vector_lanes == 2) {
+    result.ctrs.fp_128 = flops / 2.0;
+  } else {
+    result.ctrs.fp_scalar = flops;
+  }
+  for (const phase& ph : phases) {
+    const double frac = ph.executed_fraction;
+    result.ctrs.bytes_read += ph.elems * frac * ph.reads_per_elem * tune.traffic_mult;
+    result.ctrs.bytes_written += ph.elems * frac * ph.writes_per_elem * tune.traffic_mult;
+  }
+  return result;
+}
+
+}  // namespace pstlb::sim

@@ -1,0 +1,55 @@
+// Discrete-event CPU engine: schedules a kernel's phases as chunk tasks over
+// the simulated machine's cores with max-min fair memory-bandwidth sharing.
+//
+// Each task carries compute work (a dependent-op chain, in cycles) and
+// memory work (bytes from its home NUMA node); both progress concurrently
+// (hardware overlaps them) and the task finishes when the slower one drains.
+// Whenever any task finishes, shares are recomputed — that is the only event
+// type the model needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "counters/counters.hpp"
+#include "numa/page_registry.hpp"
+#include "sim/backend_profile.hpp"
+#include "sim/kernel_model.hpp"
+#include "sim/machine.hpp"
+#include "sim/memory_system.hpp"
+
+namespace pstlb::sim {
+
+struct engine_config {
+  const machine* mach = nullptr;
+  const backend_profile* prof = nullptr;
+  kernel_params params;
+  unsigned threads = 1;
+  numa::placement alloc = numa::placement::parallel_touch;
+  /// scatter = the paper's unpinned runs; compact = OMP_PROC_BIND=close.
+  thread_placement placement = thread_placement::scatter;
+};
+
+/// Per-phase breakdown of a simulated call (for explain-style tooling and
+/// the ablation benches).
+struct phase_stat {
+  std::string label;       // from the kernel model ("map", "sort/merge-rounds"...)
+  double seconds = 0;      // includes this phase's scheduling overheads
+  double bytes = 0;        // DRAM traffic attributed to the phase
+  double flops = 0;
+  std::size_t chunks = 0;  // 0 for sequential phases
+  bool parallel = false;
+  memory_tier tier = memory_tier::dram;
+};
+
+struct engine_result {
+  bool supported = true;   // false: the backend has no such algorithm (GNU scan)
+  double seconds = 0;
+  counters::counter_set ctrs;
+  std::vector<phase_stat> phases;
+};
+
+/// Simulates one call of the configured kernel. Deterministic.
+engine_result simulate_cpu(const engine_config& config);
+
+}  // namespace pstlb::sim

@@ -1,0 +1,43 @@
+// GPU timing model for the NVC-CUDA backend (Figs. 8 and 9).
+//
+// One parallel-STL call on the GPU costs:
+//
+//   t = launch_latency                        (kernel launch, always)
+//     + h2d_bytes / pcie_bw                   (unified-memory page migration
+//                                              when the data is host-resident)
+//     + max(compute, device_memory)           (the kernel itself)
+//     + d2h_bytes / pcie_bw                   (only when the host touches the
+//                                              result between calls — Fig. 9a)
+//
+// compute = n * k_it / (cuda_cores * freq)    (independent per-element chains)
+// device_memory = kernel bytes / device_bw
+//
+// The model reproduces both paper findings: transfers dominate at low
+// intensity (the GPU can lose to a sequential CPU), and chaining calls that
+// keep data device-resident flips the comparison.
+#pragma once
+
+#include "counters/counters.hpp"
+#include "sim/kernel_model.hpp"
+#include "sim/machine.hpp"
+
+namespace pstlb::sim {
+
+struct gpu_config {
+  const gpu* device = nullptr;
+  kernel_params params;
+  bool data_on_device = false;   // previous call left the array resident
+  bool transfer_back = true;     // host reads results between calls (Fig. 9a)
+};
+
+struct gpu_result {
+  double seconds = 0;
+  double h2d_seconds = 0;
+  double kernel_seconds = 0;
+  double d2h_seconds = 0;
+  counters::counter_set ctrs;
+};
+
+gpu_result simulate_gpu(const gpu_config& config);
+
+}  // namespace pstlb::sim

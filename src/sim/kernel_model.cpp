@@ -1,0 +1,209 @@
+#include "sim/kernel_model.hpp"
+
+#include <cmath>
+
+namespace pstlb::sim {
+
+std::string_view kernel_name(kernel k) {
+  switch (k) {
+    case kernel::find: return "find";
+    case kernel::for_each: return "for_each";
+    case kernel::reduce: return "reduce";
+    case kernel::inclusive_scan: return "inclusive_scan";
+    case kernel::sort: return "sort";
+    case kernel::copy: return "copy";
+    case kernel::transform: return "transform";
+    case kernel::count: return "count";
+    case kernel::min_element: return "min_element";
+    case kernel::exclusive_scan: return "exclusive_scan";
+  }
+  return "?";
+}
+
+kernel parse_kernel(std::string_view name) {
+  for (kernel k : {kernel::find, kernel::for_each, kernel::reduce,
+                   kernel::inclusive_scan, kernel::sort, kernel::copy,
+                   kernel::transform, kernel::count, kernel::min_element,
+                   kernel::exclusive_scan}) {
+    if (kernel_name(k) == name) { return k; }
+  }
+  contract_failure("precondition", "known kernel name", __FILE__, __LINE__);
+}
+
+namespace {
+
+double log2_clamped(double x) { return x > 2.0 ? std::log2(x) : 1.0; }
+
+}  // namespace
+
+std::vector<phase> phases_for(const kernel_params& params, const algo_shape& shape) {
+  const double n = params.n;
+  const double eb = params.elem_bytes;
+  const double array_bytes = n * eb;
+  std::vector<phase> out;
+
+  switch (params.kind) {
+    case kernel::for_each: {
+      // Listing 1: reads the element line (for ownership), runs a k_it-long
+      // dependent increment chain, stores the result. volatile blocks
+      // vectorization of the chain.
+      out.push_back({.label = "map",
+                     .elems = n,
+                     .flops_per_elem = params.k_it,
+                     .cycles_per_op = 5.0,      // volatile reload + store chain
+                     .reads_per_elem = 2 * eb,  // load + RFO
+                     .writes_per_elem = eb,
+                     .working_set_bytes = array_bytes,
+                     .vectorizable = false,
+                     .parallel = true});
+      break;
+    }
+    case kernel::transform: {
+      out.push_back({.label = "transform",
+                     .elems = n,
+                     .flops_per_elem = params.k_it,
+                     .reads_per_elem = 2 * eb,  // src load + dst RFO
+                     .writes_per_elem = eb,
+                     .working_set_bytes = 2 * array_bytes,
+                     .vectorizable = true,
+                     .parallel = true});
+      break;
+    }
+    case kernel::copy: {
+      out.push_back({.label = "copy",
+                     .elems = n,
+                     .flops_per_elem = 0.25,  // address arithmetic only
+                     .reads_per_elem = 2 * eb,
+                     .writes_per_elem = eb,
+                     .working_set_bytes = 2 * array_bytes,
+                     .vectorizable = true,
+                     .parallel = true});
+      break;
+    }
+    case kernel::reduce:
+    case kernel::count:
+    case kernel::min_element: {
+      out.push_back({.label = "reduce",
+                     .elems = n,
+                     .flops_per_elem = 1,
+                     .reads_per_elem = eb,
+                     .writes_per_elem = 0,
+                     .working_set_bytes = array_bytes,
+                     .vectorizable = true,
+                     .parallel = true});
+      break;
+    }
+    case kernel::find: {
+      // A tight load-compare-branch loop retires ~1 element/cycle.
+      out.push_back({.label = "scan",
+                     .elems = n,
+                     .flops_per_elem = 1,
+                     .base_cycles = 0.0,
+                     .cycles_per_op = 1.0,
+                     .reads_per_elem = eb,
+                     .writes_per_elem = 0,
+                     .working_set_bytes = array_bytes,
+                     .vectorizable = false,
+                     .parallel = true,
+                     .executed_fraction = params.find_hit_fraction});
+      break;
+    }
+    case kernel::inclusive_scan:
+    case kernel::exclusive_scan: {
+      if (shape.parallel_version && shape.threads > 1) {
+        // Reduce-then-scan: pass 1 reads everything to build chunk sums,
+        // a tiny serial prefix over the sums, pass 2 rescans and writes.
+        out.push_back({.label = "scan/reduce-pass",
+                       .elems = n,
+                       .flops_per_elem = 1,
+                       .cycles_per_op = 1.0,
+                       .reads_per_elem = eb,
+                       .writes_per_elem = 0,
+                       .working_set_bytes = array_bytes,
+                       .vectorizable = true,
+                       .parallel = true});
+        out.push_back({.label = "scan/prefix-of-sums",
+                       .elems = static_cast<double>(shape.threads) * 4,
+                       .flops_per_elem = 1,
+                       .reads_per_elem = eb,
+                       .writes_per_elem = eb,
+                       .working_set_bytes = shape.threads * 4.0 * eb,
+                       .vectorizable = false,
+                       .parallel = false});
+        out.push_back({.label = "scan/write-pass",
+                       .elems = n,
+                       .flops_per_elem = 1,
+                       .cycles_per_op = 4.0,      // dependent FP-add chain
+                       .reads_per_elem = 2 * eb,  // src + dst RFO
+                       .writes_per_elem = eb,
+                       .working_set_bytes = 2 * array_bytes,
+                       .vectorizable = false,  // serial dependence inside chunk
+                       .parallel = true});
+      } else {
+        out.push_back({.label = "scan/serial",
+                       .elems = n,
+                       .flops_per_elem = 1,
+                       .cycles_per_op = 4.0,      // dependent FP-add chain
+                       .reads_per_elem = 2 * eb,
+                       .writes_per_elem = eb,
+                       .working_set_bytes = 2 * array_bytes,
+                       .vectorizable = false,
+                       .parallel = false});
+      }
+      break;
+    }
+    case kernel::sort: {
+      if (shape.parallel_version && shape.threads > 1) {
+        const double runs = std::max(2.0, 2.0 * shape.threads);
+        const double run_len = n / runs;
+        // Local sorts are cache-friendly: each run streams through private
+        // caches several times but only once through DRAM.
+        out.push_back({.label = "sort/local-runs",
+                       .elems = n,
+                       .flops_per_elem = 4.0 * log2_clamped(run_len),
+                       .cycles_per_op = 1.2,      // compare/swap, branchy
+                       .reads_per_elem = 2 * eb,
+                       .writes_per_elem = eb,
+                       .working_set_bytes = array_bytes,
+                       .vectorizable = false,
+                       .parallel = true});
+        const double rounds = shape.sort_merge_rounds > 0
+                                  ? shape.sort_merge_rounds
+                                  : std::ceil(log2_clamped(runs));
+        out.push_back({.label = "sort/merge-rounds",
+                       .elems = n * rounds,
+                       .flops_per_elem = 3.0,
+                       .cycles_per_op = 1.2,
+                       .reads_per_elem = 2 * eb,
+                       .writes_per_elem = eb,
+                       .working_set_bytes = 2 * array_bytes,
+                       .vectorizable = false,
+                       .parallel = true});
+      } else {
+        // Introsort: n log n compares; DRAM traffic ~ one stream per
+        // doubling level beyond the LLC-resident depth.
+        out.push_back({.label = "sort/introsort",
+                       .elems = n,
+                       .flops_per_elem = 4.0 * log2_clamped(n),
+                       .cycles_per_op = 1.2,
+                       .reads_per_elem = 2 * eb * std::max(1.0, log2_clamped(n) / 8.0),
+                       .writes_per_elem = eb,
+                       .working_set_bytes = array_bytes,
+                       .vectorizable = false,
+                       .parallel = false});
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+double total_bytes(const std::vector<phase>& phases) {
+  double total = 0;
+  for (const phase& p : phases) {
+    total += p.elems * p.executed_fraction * (p.reads_per_elem + p.writes_per_elem);
+  }
+  return total;
+}
+
+}  // namespace pstlb::sim

@@ -1,0 +1,73 @@
+// Kernel work models: what each benchmark kernel *does*, expressed as a list
+// of phases with per-element compute, per-element DRAM traffic, working-set
+// size and parallelizability. The CpuEngine turns phases into scheduled
+// chunks; the GpuEngine consumes the same descriptions.
+//
+// Traffic accounting uses write-allocate semantics: a store to a cold line
+// costs a read-for-ownership plus the eventual write-back, so a streaming
+// "read x, write y" kernel moves 3 bus words per element (STREAM reports 2;
+// the paper's Likwid volumes in Tables 3/4 confirm the 3-word reality:
+// ~2.2-2.7x the 8 GiB array per for_each call).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pstlb/common.hpp"
+
+namespace pstlb::sim {
+
+enum class kernel {
+  find,
+  for_each,
+  reduce,
+  inclusive_scan,
+  sort,
+  copy,
+  transform,
+  count,
+  min_element,
+  exclusive_scan,
+};
+
+std::string_view kernel_name(kernel k);
+kernel parse_kernel(std::string_view name);
+
+struct kernel_params {
+  kernel kind = kernel::for_each;
+  double n = 1 << 20;          // elements
+  double elem_bytes = 8;       // double by default; GPU experiments use 4
+  double k_it = 1;             // for_each inner-loop iterations (Listing 1)
+  double find_hit_fraction = 0.5;  // expected position of a uniform target
+};
+
+struct phase {
+  std::string label;
+  double elems = 0;            // iteration count of this phase
+  double flops_per_elem = 1;   // dependent scalar ops per element
+  double base_cycles = 1.0;    // loop bookkeeping per element
+  double cycles_per_op = 1.0;  // cost of one op in the chain (latency-bound
+                               // chains like FP-add scans cost ~4, volatile
+                               // reload loops ~3, throughput loops ~1)
+  double reads_per_elem = 8;   // bytes read  (incl. RFO for written lines)
+  double writes_per_elem = 0;  // bytes written back
+  double working_set_bytes = 0;  // decides the cache tier of the phase
+  bool vectorizable = false;   // backend vector lanes may divide flops
+  bool parallel = true;        // false = runs on one core
+  double executed_fraction = 1.0;  // <1 for cancellable searches (find)
+};
+
+/// Backend-dependent algorithm shape knobs the kernel model needs.
+struct algo_shape {
+  bool parallel_version = true;   // sequential implementations differ
+  unsigned threads = 1;           // used to size sort runs / scan chunks
+  unsigned sort_merge_rounds = 0; // 0 = derive binary log2; 1 = multiway (GNU)
+};
+
+/// Builds the phase list for one kernel invocation.
+std::vector<phase> phases_for(const kernel_params& params, const algo_shape& shape);
+
+/// Convenience: total DRAM bytes of a phase list (reads + writes).
+double total_bytes(const std::vector<phase>& phases);
+
+}  // namespace pstlb::sim

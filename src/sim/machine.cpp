@@ -1,0 +1,124 @@
+#include "sim/machine.hpp"
+
+namespace pstlb::sim::machines {
+
+const machine& mach_a() {
+  static const machine m{
+      .name = "Mach A",
+      .arch = "Skylake",
+      .sockets = 2,
+      .numa_nodes = 2,
+      .cores = 32,
+      .freq_ghz = 2.10,
+      .bw1_gbs = 11.7,
+      .bwall_gbs = 135.0,
+      .l2_core_bytes = 1.0 * 1024 * 1024,          // Skylake-SP: 1 MiB L2
+      .llc_total_bytes = 2 * 22.0 * 1024 * 1024,   // 22 MiB LLC per socket
+      .numa_scale = 0.5,        // 2 nodes over UPI: mild decay
+      .par_compute_eff = 1.0,   // Table 5: k=1000 speedup 32.5 on 32 cores
+  };
+  return m;
+}
+
+const machine& mach_b() {
+  static const machine m{
+      .name = "Mach B",
+      .arch = "Zen 1",
+      .sockets = 2,
+      .numa_nodes = 8,
+      .cores = 64,
+      .freq_ghz = 2.00,
+      .bw1_gbs = 26.0,
+      .bwall_gbs = 204.0,
+      .l2_core_bytes = 512.0 * 1024,
+      .llc_total_bytes = 2 * 64.0 * 1024 * 1024,   // 8 MiB per CCX, 64 MiB/socket
+      .numa_scale = 1.4,        // Zen 1 fabric: severe unpinned decay
+      .par_compute_eff = 0.86,  // Table 5: k=1000 speedup 54.9 on 64 cores
+  };
+  return m;
+}
+
+const machine& mach_c() {
+  static const machine m{
+      .name = "Mach C",
+      .arch = "Zen 3",
+      .sockets = 2,
+      .numa_nodes = 8,
+      .cores = 128,
+      .freq_ghz = 2.00,
+      .bw1_gbs = 42.6,
+      .bwall_gbs = 249.0,
+      .l2_core_bytes = 512.0 * 1024,
+      .llc_total_bytes = 2 * 256.0 * 1024 * 1024,  // 32 MiB per CCX, 256 MiB/socket
+      .numa_scale = 1.4,        // Zen 3 fabric: moderate decay
+      .par_compute_eff = 0.82,  // Table 5: k=1000 speedup ~104 on 128 cores
+  };
+  return m;
+}
+
+const machine& mach_f() {
+  static const machine m{
+      .name = "Mach F",
+      .arch = "Neoverse N1",
+      .sockets = 1,
+      .numa_nodes = 1,          // monolithic mesh: no NUMA boundary
+      .cores = 80,
+      .freq_ghz = 3.00,
+      .bw1_gbs = 36.0,
+      .bwall_gbs = 170.0,       // 8x DDR4-3200
+      .l2_core_bytes = 1.0 * 1024 * 1024,
+      .llc_total_bytes = 32.0 * 1024 * 1024,  // 32 MiB SLC
+      .numa_scale = 0.0,        // single node
+      .par_compute_eff = 0.90,
+  };
+  return m;
+}
+
+const gpu& mach_d() {
+  static const gpu g{
+      .name = "Mach D",
+      .arch = "Turing",
+      .cuda_cores = 2560,
+      .freq_ghz = 1.11,
+      .memory_gib = 16.0,
+      .device_bw_gbs = 264.0,
+      .pcie_bw_gbs = 6.0,     // fault-driven UM page migration (well below
+                              // raw PCIe 3.0 x16 throughput)
+      .launch_latency_s = 8e-6,
+  };
+  return g;
+}
+
+const gpu& mach_e() {
+  static const gpu g{
+      .name = "Mach E",
+      .arch = "Ampere",
+      .cuda_cores = 1280,
+      .freq_ghz = 1.77,
+      .memory_gib = 8.0,
+      .device_bw_gbs = 172.0,
+      .pcie_bw_gbs = 6.0,
+      .launch_latency_s = 8e-6,
+  };
+  return g;
+}
+
+const std::vector<const machine*>& cpus() {
+  static const std::vector<const machine*> list{&mach_a(), &mach_b(), &mach_c()};
+  return list;
+}
+
+const std::vector<const machine*>& cpus_extended() {
+  static const std::vector<const machine*> list{&mach_a(), &mach_b(), &mach_c(),
+                                                &mach_f()};
+  return list;
+}
+
+const machine& by_name(std::string_view name) {
+  for (const machine* m : cpus_extended()) {
+    if (m->name == name) { return *m; }
+  }
+  contract_failure("precondition", "known machine name", __FILE__, __LINE__);
+}
+
+}  // namespace pstlb::sim::machines

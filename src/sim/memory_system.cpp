@@ -1,0 +1,55 @@
+#include "sim/memory_system.hpp"
+
+namespace pstlb::sim {
+
+memory_system::memory_system(const machine& m, double gamma, unsigned nodes_in_use,
+                             bool spread_pages, thread_placement placement)
+    : mach_(m), spread_pages_(spread_pages), placement_(placement) {
+  const unsigned extra = nodes_in_use > 1 ? nodes_in_use - 1 : 0;
+  gamma_penalty_ = 1.0 + gamma * static_cast<double>(extra);
+}
+
+unsigned memory_system::node_of_core(unsigned core) const {
+  if (placement_ == thread_placement::compact) {
+    const unsigned per_node = mach_.cores_per_node() > 0 ? mach_.cores_per_node() : 1;
+    return (core / per_node) % mach_.numa_nodes;
+  }
+  return core % mach_.numa_nodes;
+}
+
+memory_tier memory_system::tier_for(double working_set_bytes, unsigned threads) const {
+  if (working_set_bytes <= mach_.l2_aggregate_bytes(threads)) { return memory_tier::l2; }
+  if (working_set_bytes <= mach_.llc_total_bytes) { return memory_tier::llc; }
+  return memory_tier::dram;
+}
+
+double memory_system::stream_rate_gbs(memory_tier tier, unsigned streams_on_node) const {
+  const unsigned streams = streams_on_node > 0 ? streams_on_node : 1;
+  switch (tier) {
+    case memory_tier::l2:
+      // Private caches: no cross-stream contention; ~4x the DRAM link.
+      return 4.0 * mach_.bw1_gbs;
+    case memory_tier::llc: {
+      const double link = 2.0 * mach_.bw1_gbs;
+      const double share = 2.0 * mach_.node_bw_gbs() / static_cast<double>(streams);
+      return link < share ? link : share;
+    }
+    case memory_tier::dram: {
+      const double link = mach_.bw1_gbs;
+      const double share = mach_.node_bw_gbs() / static_cast<double>(streams);
+      const double rate = link < share ? link : share;
+      return rate / gamma_penalty_;
+    }
+  }
+  return mach_.bw1_gbs;
+}
+
+unsigned memory_system::home_node(unsigned core) const {
+  // Parallel first touch places a chunk's pages on the node of the thread
+  // that touched it — which is also the thread that processes it, so pages
+  // are node-local. The sequential (default-allocator) touch concentrates
+  // everything on node 0.
+  return spread_pages_ ? node_of_core(core) : 0u;
+}
+
+}  // namespace pstlb::sim

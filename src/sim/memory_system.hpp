@@ -1,0 +1,57 @@
+// Memory-system model: bandwidth tiers and max-min fair sharing.
+//
+// Rates are anchored to the machine's measured STREAM numbers (Table 2):
+// a single stream can pull at most `bw1` from DRAM (the core's link limit),
+// and all streams on one NUMA node share that node's slice of the all-core
+// bandwidth. Working sets that fit the active cores' private L2 or the LLC
+// run at elevated per-core rates and do not contend on the nodes.
+//
+// The per-backend NUMA-management factor (kernel_tuning::numa_gamma) scales
+// DRAM rates down as more nodes participate — the paper's runs use no
+// pinning, so the runtimes' placement quality is part of the measurement
+// (Section 4.2), and Table 6 shows most backends degrade past one node.
+#pragma once
+
+#include "numa/page_registry.hpp"
+#include "sim/machine.hpp"
+
+namespace pstlb::sim {
+
+enum class memory_tier { l2, llc, dram };
+
+/// How the OS lays threads over NUMA nodes. The paper pins nothing
+/// (Section 4.2), which on Linux behaves like scatter for bandwidth-hungry
+/// loads; compact models an OMP_PROC_BIND=close run and is what makes
+/// "16 threads = one node" visible (Table 6).
+enum class thread_placement { scatter, compact };
+
+class memory_system {
+ public:
+  /// `gamma` is the backend's NUMA decay; `nodes_in_use` how many nodes the
+  /// active threads span; `spread_pages` whether the allocation was first-
+  /// touched in parallel (pages distributed) or sequentially (all on node 0).
+  memory_system(const machine& m, double gamma, unsigned nodes_in_use,
+                bool spread_pages,
+                thread_placement placement = thread_placement::scatter);
+
+  /// Tier for a phase: where its working set lives.
+  memory_tier tier_for(double working_set_bytes, unsigned threads) const;
+
+  /// Max sustainable rate of one stream (GB/s) given the number of streams
+  /// concurrently hitting the same node.
+  double stream_rate_gbs(memory_tier tier, unsigned streams_on_node) const;
+
+  /// Node a task's pages live on, given the executing core.
+  unsigned home_node(unsigned core) const;
+
+  unsigned nodes() const { return mach_.numa_nodes; }
+  unsigned node_of_core(unsigned core) const;
+
+ private:
+  const machine& mach_;
+  double gamma_penalty_ = 1.0;  // 1 + gamma * (nodes_in_use - 1)
+  bool spread_pages_ = true;
+  thread_placement placement_ = thread_placement::scatter;
+};
+
+}  // namespace pstlb::sim

@@ -1,0 +1,59 @@
+#include "sim/run.hpp"
+
+namespace pstlb::sim {
+
+engine_result run(const machine& m, const backend_profile& prof, kernel_params params,
+                  unsigned threads, numa::placement alloc,
+                  thread_placement placement) {
+  engine_config config{.mach = &m, .prof = &prof, .params = params,
+                       .threads = threads, .alloc = alloc,
+                       .placement = placement};
+  return simulate_cpu(config);
+}
+
+double gcc_seq_seconds(const machine& m, kernel_params params) {
+  return run(m, profiles::gcc_seq(), params, 1).seconds;
+}
+
+double speedup_vs_gcc_seq(const machine& m, const backend_profile& prof,
+                          kernel_params params, unsigned threads,
+                          numa::placement alloc) {
+  const engine_result r = run(m, prof, params, threads, alloc);
+  if (!r.supported || r.seconds <= 0) { return 0; }
+  return gcc_seq_seconds(m, params) / r.seconds;
+}
+
+unsigned max_threads_at_efficiency(const machine& m, const backend_profile& prof,
+                                   kernel_params params, double threshold) {
+  unsigned best = 0;
+  for (unsigned t : thread_sweep(m.cores)) {
+    const double speedup = speedup_vs_gcc_seq(m, prof, params, t, paper_alloc_for(prof));
+    if (speedup / static_cast<double>(t) >= threshold) { best = t; }
+  }
+  return best;
+}
+
+std::vector<double> problem_sizes(int lo_pow2, int hi_pow2) {
+  std::vector<double> sizes;
+  for (int p = lo_pow2; p <= hi_pow2; ++p) {
+    sizes.push_back(static_cast<double>(index_t{1} << p));
+  }
+  return sizes;
+}
+
+std::vector<unsigned> thread_sweep(unsigned max_threads) {
+  std::vector<unsigned> threads;
+  for (unsigned t = 1; t <= max_threads; t *= 2) { threads.push_back(t); }
+  if (threads.empty() || threads.back() != max_threads) { threads.push_back(max_threads); }
+  return threads;
+}
+
+numa::placement paper_alloc_for(const backend_profile&) {
+  // Section 5.1: the custom allocator is used everywhere except HPX (which
+  // ships its own NUMA allocator) and CUDA (device memory). HPX's own
+  // allocator is also first-touch, so in placement terms every backend's
+  // production configuration behaves like parallel_touch.
+  return numa::placement::parallel_touch;
+}
+
+}  // namespace pstlb::sim

@@ -1,0 +1,43 @@
+// High-level simulation façade used by the bench binaries and tests.
+#pragma once
+
+#include <vector>
+
+#include "sim/backend_profile.hpp"
+#include "sim/cpu_engine.hpp"
+#include "sim/gpu_engine.hpp"
+#include "sim/machine.hpp"
+
+namespace pstlb::sim {
+
+/// Simulates one kernel call on a CPU machine.
+engine_result run(const machine& m, const backend_profile& prof, kernel_params params,
+                  unsigned threads,
+                  numa::placement alloc = numa::placement::parallel_touch,
+                  thread_placement placement = thread_placement::scatter);
+
+/// GCC's sequential implementation — the baseline of Tables 5/6.
+double gcc_seq_seconds(const machine& m, kernel_params params);
+
+/// Speedup of (prof, threads) against the GCC-SEQ baseline; 0 when the
+/// backend does not support the kernel.
+double speedup_vs_gcc_seq(const machine& m, const backend_profile& prof,
+                          kernel_params params, unsigned threads,
+                          numa::placement alloc = numa::placement::parallel_touch);
+
+/// Largest thread count from {1, 2, 4, ...} whose parallel efficiency
+/// (speedup / threads, vs GCC-SEQ) stays >= the threshold — Table 6.
+unsigned max_threads_at_efficiency(const machine& m, const backend_profile& prof,
+                                   kernel_params params, double threshold);
+
+/// 2^lo .. 2^hi element counts (Section 4.2 uses 2^3 .. 2^30).
+std::vector<double> problem_sizes(int lo_pow2, int hi_pow2);
+
+/// 1, 2, 4, ..., max_threads (Section 4.2).
+std::vector<unsigned> thread_sweep(unsigned max_threads);
+
+/// The per-paper allocator policy: HPX brings its own allocator and is
+/// benchmarked without the custom one (Section 5.1).
+numa::placement paper_alloc_for(const backend_profile& prof);
+
+}  // namespace pstlb::sim

@@ -1,0 +1,206 @@
+// Skeleton tests over every backend type: parallel_for coverage,
+// parallel_reduce correctness, parallel_find first-match semantics,
+// parallel_scan prefix identity, parallel_pack stability.
+#include "backends/skeletons.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "backends/fork_join.hpp"
+#include "backends/seq.hpp"
+#include "backends/steal.hpp"
+#include "backends/task_futures.hpp"
+
+namespace pstlb::backends {
+namespace {
+
+template <class B>
+class SkeletonTest : public ::testing::Test {
+ public:
+  B make() { return B(4); }
+};
+
+template <>
+seq_backend SkeletonTest<seq_backend>::make() {
+  return {};
+}
+
+using BackendTypes =
+    ::testing::Types<seq_backend, fork_join_backend, steal_backend,
+                     task_futures_backend>;
+TYPED_TEST_SUITE(SkeletonTest, BackendTypes);
+
+TYPED_TEST(SkeletonTest, ForCoversRangeOnce) {
+  auto backend = this->make();
+  for (index_t n : {index_t{0}, index_t{1}, index_t{17}, index_t{1000}, index_t{65536}}) {
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    parallel_for(backend, n, index_t{7}, [&](index_t b, index_t e, unsigned) {
+      for (index_t i = b; i < e; ++i) { hits[static_cast<std::size_t>(i)].fetch_add(1); }
+    });
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << n << ":" << i;
+    }
+  }
+}
+
+TYPED_TEST(SkeletonTest, ForTidStaysBelowSlots) {
+  auto backend = this->make();
+  const unsigned slots = backend.slots();
+  std::atomic<bool> bad{false};
+  parallel_for(backend, index_t{10000}, index_t{16},
+               [&](index_t, index_t, unsigned tid) {
+                 if (tid >= slots) { bad.store(true); }
+               });
+  EXPECT_FALSE(bad.load());
+}
+
+TYPED_TEST(SkeletonTest, ReduceSumsExactly) {
+  auto backend = this->make();
+  for (index_t n : {index_t{0}, index_t{1}, index_t{1000}, index_t{99991}}) {
+    const long long expected = static_cast<long long>(n) * (n - 1) / 2;
+    const long long sum = parallel_reduce(
+        backend, n, index_t{64}, 0LL,
+        [](index_t b, index_t e) {
+          long long acc = 0;
+          for (index_t i = b; i < e; ++i) { acc += i; }
+          return acc;
+        },
+        std::plus<>{});
+    EXPECT_EQ(sum, n == 0 ? 0 : expected);
+  }
+}
+
+TYPED_TEST(SkeletonTest, ReduceWithNonCommutativeSlotOrderStillAssociates) {
+  // String concatenation is associative but not commutative; per-slot
+  // partials may group differently, but the multiset of characters and the
+  // relative order within each contiguous block is preserved. We check the
+  // weaker (and guaranteed) property: same length, same character counts.
+  auto backend = this->make();
+  const index_t n = 2000;
+  const std::string result = parallel_reduce(
+      backend, n, index_t{37}, std::string{},
+      [](index_t b, index_t e) {
+        std::string s;
+        for (index_t i = b; i < e; ++i) { s.push_back('a' + static_cast<char>(i % 26)); }
+        return s;
+      },
+      [](std::string a, std::string b) { return std::move(a) + b; });
+  EXPECT_EQ(result.size(), static_cast<std::size_t>(n));
+  std::array<int, 26> counts{};
+  for (char ch : result) { counts[static_cast<std::size_t>(ch - 'a')]++; }
+  for (int c = 0; c < 26; ++c) {
+    int expected = 0;
+    for (index_t i = 0; i < n; ++i) { expected += (i % 26 == c) ? 1 : 0; }
+    EXPECT_EQ(counts[static_cast<std::size_t>(c)], expected);
+  }
+}
+
+TYPED_TEST(SkeletonTest, FindReturnsFirstMatch) {
+  auto backend = this->make();
+  const index_t n = 100000;
+  std::vector<int> data(static_cast<std::size_t>(n), 0);
+  data[70001] = 1;
+  data[70002] = 1;
+  data[99999] = 1;
+  const index_t hit = parallel_find(backend, n, index_t{128}, [&](index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) {
+      if (data[static_cast<std::size_t>(i)] == 1) { return i; }
+    }
+    return e;
+  });
+  EXPECT_EQ(hit, 70001);
+}
+
+TYPED_TEST(SkeletonTest, FindMissReturnsN) {
+  auto backend = this->make();
+  const index_t n = 5000;
+  const index_t hit =
+      parallel_find(backend, n, index_t{64}, [](index_t, index_t e) { return e; });
+  EXPECT_EQ(hit, n);
+}
+
+TYPED_TEST(SkeletonTest, ScanMatchesSequentialPrefix) {
+  auto backend = this->make();
+  for (index_t n : {index_t{1}, index_t{5}, index_t{4096}, index_t{100000}}) {
+    std::vector<long long> input(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) { input[static_cast<std::size_t>(i)] = i % 97 + 1; }
+    std::vector<long long> output(static_cast<std::size_t>(n));
+    parallel_scan<TypeParam, long long>(
+        backend, n, std::plus<>{},
+        [&](index_t b, index_t e) {
+          long long acc = 0;
+          for (index_t i = b; i < e; ++i) { acc += input[static_cast<std::size_t>(i)]; }
+          return acc;
+        },
+        [&](index_t b, index_t e, long long carry, bool has_carry) {
+          long long run = has_carry ? carry : 0;
+          for (index_t i = b; i < e; ++i) {
+            run += input[static_cast<std::size_t>(i)];
+            output[static_cast<std::size_t>(i)] = run;
+          }
+        });
+    long long expected = 0;
+    for (index_t i = 0; i < n; ++i) {
+      expected += input[static_cast<std::size_t>(i)];
+      ASSERT_EQ(output[static_cast<std::size_t>(i)], expected) << n << ":" << i;
+    }
+  }
+}
+
+TYPED_TEST(SkeletonTest, PackKeepsOrderAndCount) {
+  auto backend = this->make();
+  const index_t n = 50000;
+  std::vector<int> input(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) { input[static_cast<std::size_t>(i)] = static_cast<int>(i); }
+  std::vector<int> output(static_cast<std::size_t>(n), -1);
+  auto is_kept = [](int v) { return v % 3 == 0; };
+  const index_t total = parallel_pack(
+      backend, n,
+      [&](index_t b, index_t e) {
+        index_t count = 0;
+        for (index_t i = b; i < e; ++i) { count += is_kept(input[static_cast<std::size_t>(i)]); }
+        return count;
+      },
+      [&](index_t b, index_t e, index_t offset, index_t) {
+        for (index_t i = b; i < e; ++i) {
+          if (is_kept(input[static_cast<std::size_t>(i)])) {
+            output[static_cast<std::size_t>(offset++)] = input[static_cast<std::size_t>(i)];
+          }
+        }
+      });
+  EXPECT_EQ(total, (n + 2) / 3);
+  for (index_t i = 0; i < total; ++i) {
+    ASSERT_EQ(output[static_cast<std::size_t>(i)], static_cast<int>(i * 3));
+  }
+}
+
+TEST(Nesting, NestedLoopsFallBackSequentially) {
+  fork_join_backend outer(4);
+  std::atomic<int> count{0};
+  parallel_for(outer, index_t{8}, index_t{1}, [&](index_t b, index_t e, unsigned) {
+    fork_join_backend inner(4);  // would deadlock if it re-entered the pool
+    for (index_t i = b; i < e; ++i) {
+      parallel_for(inner, index_t{100}, index_t{10},
+                   [&](index_t ib, index_t ie, unsigned) {
+                     count.fetch_add(static_cast<int>(ie - ib));
+                   });
+    }
+  });
+  EXPECT_EQ(count.load(), 800);
+}
+
+TEST(DefaultGrain, ProducesReasonableChunkCounts) {
+  EXPECT_EQ(default_grain(0, 4), 1);
+  EXPECT_EQ(default_grain(1, 4), 1);
+  EXPECT_GE(default_grain(1 << 20, 4), 1);
+  // ~8 chunks per thread.
+  EXPECT_NEAR(static_cast<double>((1 << 20) / default_grain(1 << 20, 4)), 32.0, 8.0);
+}
+
+}  // namespace
+}  // namespace pstlb::backends

@@ -1,0 +1,64 @@
+#include "bench_core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pstlb::bench {
+namespace {
+
+TEST(Analysis, ForEachCrossoverInPaperWindow) {
+  // Fig. 2: parallel for_each starts winning between ~2^10 and ~2^17.
+  for (const sim::machine* m : sim::machines::cpus()) {
+    for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+      const double crossover =
+          parallel_crossover_size(*m, *prof, sim::kernel::for_each, m->cores);
+      ASSERT_GT(crossover, 0) << m->name << " " << prof->name;
+      EXPECT_GE(crossover, 1 << 10) << m->name << " " << prof->name;
+      EXPECT_LE(crossover, 1 << 20) << m->name << " " << prof->name;
+    }
+  }
+}
+
+TEST(Analysis, HighIntensityCrossoverIsSmaller) {
+  // More work per element amortizes the fork cost sooner. Compare crossover
+  // of reduce (1 flop, memory-bound) vs sort (hundreds of cycles/elem).
+  const auto& m = sim::machines::mach_a();
+  const auto& tbb = sim::profiles::gcc_tbb();
+  const double cheap = parallel_crossover_size(m, tbb, sim::kernel::reduce, 32);
+  const double heavy = parallel_crossover_size(m, tbb, sim::kernel::sort, 32);
+  ASSERT_GT(cheap, 0);
+  ASSERT_GT(heavy, 0);
+  EXPECT_LE(heavy, cheap);
+}
+
+TEST(Analysis, UnsupportedKernelsNeverCross) {
+  EXPECT_EQ(parallel_crossover_size(sim::machines::mach_c(), sim::profiles::gcc_gnu(),
+                                    sim::kernel::inclusive_scan, 128),
+            0);
+  // NVC scan falls back to (slower) sequential code: never beats GCC-SEQ.
+  EXPECT_EQ(parallel_crossover_size(sim::machines::mach_c(), sim::profiles::nvc_omp(),
+                                    sim::kernel::inclusive_scan, 128),
+            0);
+}
+
+TEST(Analysis, FastestBackendMatchesTable5) {
+  // Table 5 headline winners.
+  EXPECT_EQ(fastest_backend(sim::machines::mach_a(), sim::kernel::for_each)->name,
+            "NVC-OMP");
+  EXPECT_EQ(fastest_backend(sim::machines::mach_c(), sim::kernel::sort)->name,
+            "GCC-GNU");
+  const auto* scan_best = fastest_backend(sim::machines::mach_c(), sim::kernel::inclusive_scan);
+  ASSERT_NE(scan_best, nullptr);
+  EXPECT_TRUE(scan_best->name == "GCC-TBB" || scan_best->name == "ICC-TBB")
+      << scan_best->name;
+}
+
+TEST(Analysis, MaxEffectiveThreadsNeverExceedsCores) {
+  for (const sim::machine* m : sim::machines::cpus()) {
+    for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+      EXPECT_LE(max_effective_threads(*m, *prof, sim::kernel::reduce), m->cores);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pstlb::bench

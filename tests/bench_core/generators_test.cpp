@@ -1,0 +1,71 @@
+#include "bench_core/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace pstlb::bench {
+namespace {
+
+TEST(Generators, GenerateIncrementIsOneToN) {
+  exec::steal_policy pol{4};
+  pol.seq_threshold = 0;
+  const auto v = generate_increment(pol, 10000);
+  ASSERT_EQ(v.size(), 10000u);
+  for (index_t i = 0; i < 10000; ++i) {
+    ASSERT_EQ(v[static_cast<std::size_t>(i)], static_cast<elem_t>(i + 1));
+  }
+}
+
+TEST(Generators, ShuffledPermutationIsAPermutation) {
+  auto v = shuffled_permutation(9973, 42);
+  ASSERT_EQ(v.size(), 9973u);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t i = 0; i < 9973; ++i) {
+    ASSERT_EQ(sorted[static_cast<std::size_t>(i)], static_cast<elem_t>(i + 1));
+  }
+  // Should not come out sorted (astronomically unlikely).
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Generators, ShuffleIsDeterministicPerSeed) {
+  const auto a = shuffled_permutation(5000, 7);
+  const auto b = shuffled_permutation(5000, 7);
+  const auto c = shuffled_permutation(5000, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Generators, FindTargetInRangeAndDeterministic) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const index_t target = find_target(1 << 20, seed);
+    EXPECT_GE(target, 0);
+    EXPECT_LT(target, 1 << 20);
+    EXPECT_EQ(target, find_target(1 << 20, seed));
+  }
+  EXPECT_EQ(find_target(0, 3), 0);
+}
+
+TEST(Generators, BoundedRandStaysInBounds) {
+  std::uint64_t state = 99;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(bounded_rand(state, 17), 17u);
+  }
+  EXPECT_EQ(bounded_rand(state, 0), 0u);
+}
+
+TEST(Generators, FindTargetsSpreadOut) {
+  // Averaging many uniform targets should land near the middle — this is
+  // what makes the paper's find expectation ~n/2.
+  double sum = 0;
+  const int trials = 2000;
+  for (int seed = 0; seed < trials; ++seed) {
+    sum += static_cast<double>(find_target(1000000, static_cast<std::uint64_t>(seed)));
+  }
+  EXPECT_NEAR(sum / trials, 500000.0, 50000.0);
+}
+
+}  // namespace
+}  // namespace pstlb::bench

@@ -1,0 +1,99 @@
+#include "counters/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace pstlb::counters {
+namespace {
+
+TEST(CounterSet, AccumulateAndDerivedMetrics) {
+  counter_set a;
+  a.fp_scalar = 100;
+  a.fp_128 = 10;   // 2 lanes
+  a.fp_256 = 5;    // 4 lanes
+  a.seconds = 2.0;
+  a.bytes_read = 1024;
+  a.bytes_written = 1024;
+  EXPECT_DOUBLE_EQ(a.flops(), 100 + 20 + 20);
+  EXPECT_DOUBLE_EQ(a.gflops_per_s(), 140 / 2.0 * 1e-9);
+  EXPECT_DOUBLE_EQ(a.bytes_total(), 2048);
+  EXPECT_GT(a.bandwidth_gib_per_s(), 0);
+
+  counter_set b = a;
+  b += a;
+  EXPECT_DOUBLE_EQ(b.fp_scalar, 200);
+  EXPECT_DOUBLE_EQ(b.seconds, 4.0);
+}
+
+TEST(Region, MeasuresWallTime) {
+  region r("test-region");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto& sample = r.stop();
+  EXPECT_GE(sample.seconds, 0.015);
+  EXPECT_LT(sample.seconds, 5.0);
+}
+
+TEST(Region, StopIsIdempotent) {
+  region r("idempotent");
+  const auto& first = r.stop();
+  const double t = first.seconds;
+  const auto& second = r.stop();
+  EXPECT_DOUBLE_EQ(second.seconds, t);
+}
+
+TEST(Region, CollectsReportedWork) {
+  marker_registry::instance().reset();
+  {
+    region r("work-region");
+    counter_set work;
+    work.fp_scalar = 1000;
+    work.bytes_read = 4096;
+    report_work(work);
+    report_work(work);
+    r.stop();
+  }
+  const auto stats = marker_registry::instance().snapshot();
+  const auto it = stats.find("work-region");
+  ASSERT_NE(it, stats.end());
+  EXPECT_EQ(it->second.calls, 1u);
+  EXPECT_DOUBLE_EQ(it->second.total.fp_scalar, 2000);
+  EXPECT_DOUBLE_EQ(it->second.total.bytes_read, 8192);
+}
+
+TEST(Region, NestedRegionsAttachWorkToInnermost) {
+  marker_registry::instance().reset();
+  {
+    region outer("outer");
+    {
+      region inner("inner");
+      counter_set work;
+      work.fp_scalar = 7;
+      report_work(work);
+    }
+  }
+  const auto stats = marker_registry::instance().snapshot();
+  EXPECT_DOUBLE_EQ(stats.at("inner").total.fp_scalar, 7);
+  EXPECT_DOUBLE_EQ(stats.at("outer").total.fp_scalar, 0);
+}
+
+TEST(ReportWork, NoActiveRegionIsNoOp) {
+  counter_set work;
+  work.fp_scalar = 1;
+  report_work(work);  // must not crash
+  SUCCEED();
+}
+
+TEST(MarkerRegistry, AggregatesAcrossCalls) {
+  marker_registry::instance().reset();
+  for (int i = 0; i < 5; ++i) {
+    region r("repeated");
+    r.stop();
+  }
+  const auto stats = marker_registry::instance().snapshot();
+  EXPECT_EQ(stats.at("repeated").calls, 5u);
+}
+
+}  // namespace
+}  // namespace pstlb::counters

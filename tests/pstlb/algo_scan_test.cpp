@@ -1,0 +1,180 @@
+// Scan-family and pack-family algorithms vs std::, all policies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "pstlb/pstlb.hpp"
+#include "support/policies.hpp"
+
+namespace {
+
+using pstlb::index_t;
+
+std::vector<long long> make_ints(index_t n) {
+  std::vector<long long> v(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] = (i * 1103515245LL + 12345) % 1000;
+  }
+  return v;
+}
+
+template <class P>
+class ScanAlgos : public ::testing::Test {
+ protected:
+  P pol = pstlb::test::make_eager<P>();
+};
+
+TYPED_TEST_SUITE(ScanAlgos, PstlbPolicyTypes);
+
+TYPED_TEST(ScanAlgos, InclusiveScanAllForms) {
+  for (index_t n : pstlb::test::test_sizes()) {
+    const auto v = make_ints(n);
+    std::vector<long long> out(v.size()), expected(v.size());
+
+    std::inclusive_scan(v.begin(), v.end(), expected.begin());
+    auto ret = pstlb::inclusive_scan(this->pol, v.begin(), v.end(), out.begin());
+    EXPECT_EQ(ret, out.end());
+    ASSERT_EQ(out, expected) << "n=" << n;
+
+    std::inclusive_scan(v.begin(), v.end(), expected.begin(), std::plus<>{});
+    pstlb::inclusive_scan(this->pol, v.begin(), v.end(), out.begin(), std::plus<>{});
+    ASSERT_EQ(out, expected);
+
+    std::inclusive_scan(v.begin(), v.end(), expected.begin(), std::plus<>{}, 1000LL);
+    pstlb::inclusive_scan(this->pol, v.begin(), v.end(), out.begin(), std::plus<>{},
+                          1000LL);
+    ASSERT_EQ(out, expected) << "n=" << n;
+  }
+}
+
+TYPED_TEST(ScanAlgos, ExclusiveScan) {
+  for (index_t n : pstlb::test::test_sizes()) {
+    const auto v = make_ints(n);
+    std::vector<long long> out(v.size()), expected(v.size());
+    std::exclusive_scan(v.begin(), v.end(), expected.begin(), 7LL);
+    auto ret = pstlb::exclusive_scan(this->pol, v.begin(), v.end(), out.begin(), 7LL);
+    EXPECT_EQ(ret, out.end());
+    ASSERT_EQ(out, expected) << "n=" << n;
+
+    // Custom op must be associative (a std:: requirement too): use max.
+    auto maxop = [](long long a, long long b) { return a > b ? a : b; };
+    std::exclusive_scan(v.begin(), v.end(), expected.begin(), -1LL, maxop);
+    pstlb::exclusive_scan(this->pol, v.begin(), v.end(), out.begin(), -1LL, maxop);
+    ASSERT_EQ(out, expected);
+  }
+}
+
+TYPED_TEST(ScanAlgos, TransformScans) {
+  const auto v = make_ints(30000);
+  std::vector<long long> out(v.size()), expected(v.size());
+  auto square = [](long long x) { return x * x; };
+
+  std::transform_inclusive_scan(v.begin(), v.end(), expected.begin(), std::plus<>{},
+                                square);
+  pstlb::transform_inclusive_scan(this->pol, v.begin(), v.end(), out.begin(),
+                                  std::plus<>{}, square);
+  ASSERT_EQ(out, expected);
+
+  std::transform_inclusive_scan(v.begin(), v.end(), expected.begin(), std::plus<>{},
+                                square, 5LL);
+  pstlb::transform_inclusive_scan(this->pol, v.begin(), v.end(), out.begin(),
+                                  std::plus<>{}, square, 5LL);
+  ASSERT_EQ(out, expected);
+
+  std::transform_exclusive_scan(v.begin(), v.end(), expected.begin(), 5LL,
+                                std::plus<>{}, square);
+  pstlb::transform_exclusive_scan(this->pol, v.begin(), v.end(), out.begin(), 5LL,
+                                  std::plus<>{}, square);
+  ASSERT_EQ(out, expected);
+}
+
+TYPED_TEST(ScanAlgos, CopyIfKeepsOrder) {
+  for (index_t n : pstlb::test::test_sizes()) {
+    const auto v = make_ints(n);
+    std::vector<long long> out(v.size(), -99), expected(v.size(), -99);
+    auto pred = [](long long x) { return x % 3 == 0; };
+    auto expected_end = std::copy_if(v.begin(), v.end(), expected.begin(), pred);
+    auto out_end = pstlb::copy_if(this->pol, v.begin(), v.end(), out.begin(), pred);
+    ASSERT_EQ(out_end - out.begin(), expected_end - expected.begin()) << n;
+    ASSERT_EQ(out, expected) << "n=" << n;
+  }
+}
+
+TYPED_TEST(ScanAlgos, RemoveCopyFamily) {
+  const auto v = make_ints(20000);
+  std::vector<long long> out(v.size()), expected(v.size());
+  auto e1 = std::remove_copy(v.begin(), v.end(), expected.begin(), 17LL);
+  auto o1 = pstlb::remove_copy(this->pol, v.begin(), v.end(), out.begin(), 17LL);
+  EXPECT_EQ(o1 - out.begin(), e1 - expected.begin());
+  EXPECT_EQ(out, expected);
+
+  auto pred = [](long long x) { return x < 100; };
+  auto e2 = std::remove_copy_if(v.begin(), v.end(), expected.begin(), pred);
+  auto o2 = pstlb::remove_copy_if(this->pol, v.begin(), v.end(), out.begin(), pred);
+  EXPECT_EQ(o2 - out.begin(), e2 - expected.begin());
+  EXPECT_EQ(out, expected);
+}
+
+TYPED_TEST(ScanAlgos, PartitionCopySplitsBoth) {
+  const auto v = make_ints(30000);
+  auto pred = [](long long x) { return x % 2 == 0; };
+  std::vector<long long> t_out(v.size()), f_out(v.size()), t_exp(v.size()),
+      f_exp(v.size());
+  auto exp = std::partition_copy(v.begin(), v.end(), t_exp.begin(), f_exp.begin(), pred);
+  auto got =
+      pstlb::partition_copy(this->pol, v.begin(), v.end(), t_out.begin(), f_out.begin(), pred);
+  EXPECT_EQ(got.first - t_out.begin(), exp.first - t_exp.begin());
+  EXPECT_EQ(got.second - f_out.begin(), exp.second - f_exp.begin());
+  EXPECT_EQ(t_out, t_exp);
+  EXPECT_EQ(f_out, f_exp);
+}
+
+TYPED_TEST(ScanAlgos, UniqueFamilies) {
+  for (index_t n : {index_t{0}, index_t{1}, index_t{2}, index_t{10000}}) {
+    auto v = make_ints(n);
+    std::sort(v.begin(), v.end());  // create long equal runs
+
+    std::vector<long long> out(v.size()), expected(v.size());
+    auto e = std::unique_copy(v.begin(), v.end(), expected.begin());
+    auto o = pstlb::unique_copy(this->pol, v.begin(), v.end(), out.begin());
+    ASSERT_EQ(o - out.begin(), e - expected.begin()) << n;
+    ASSERT_TRUE(std::equal(out.begin(), o, expected.begin())) << n;
+
+    auto v2 = v;
+    auto e2 = std::unique(v.begin(), v.end());
+    auto o2 = pstlb::unique(this->pol, v2.begin(), v2.end());
+    ASSERT_EQ(o2 - v2.begin(), e2 - v.begin()) << n;
+    ASSERT_TRUE(std::equal(v2.begin(), o2, v.begin()));
+  }
+}
+
+TYPED_TEST(ScanAlgos, RemoveInPlace) {
+  auto v = make_ints(20000);
+  auto expected = v;
+  auto e = std::remove_if(expected.begin(), expected.end(),
+                          [](long long x) { return x % 5 == 0; });
+  auto o = pstlb::remove_if(this->pol, v.begin(), v.end(),
+                            [](long long x) { return x % 5 == 0; });
+  ASSERT_EQ(o - v.begin(), e - expected.begin());
+  ASSERT_TRUE(std::equal(v.begin(), o, expected.begin()));
+
+  auto v2 = make_ints(20000);
+  auto expected2 = v2;
+  auto e2 = std::remove(expected2.begin(), expected2.end(), 17LL);
+  auto o2 = pstlb::remove(this->pol, v2.begin(), v2.end(), 17LL);
+  ASSERT_EQ(o2 - v2.begin(), e2 - expected2.begin());
+  ASSERT_TRUE(std::equal(v2.begin(), o2, expected2.begin()));
+}
+
+TEST(ScanProperty, ScanThenAdjacentDifferenceIsIdentity) {
+  auto pol = pstlb::test::make_eager<pstlb::exec::steal_policy>();
+  const auto v = make_ints(50000);
+  std::vector<long long> scanned(v.size()), recovered(v.size());
+  pstlb::inclusive_scan(pol, v.begin(), v.end(), scanned.begin());
+  pstlb::adjacent_difference(pol, scanned.begin(), scanned.end(), recovered.begin());
+  EXPECT_EQ(recovered, v);
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Contract and failure-injection tests: precondition violations must abort
+// loudly (PSTLB_EXPECTS), and exceptions on the sequential path propagate
+// (on parallel paths, like the std:: backends, an escaping exception
+// terminates — asserted via death tests).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "backends/backend_registry.hpp"
+#include "pstlb/pstlb.hpp"
+#include "sim/run.hpp"
+
+namespace {
+
+using pstlb::index_t;
+
+TEST(ContractDeath, UnknownBackendNameAborts) {
+  EXPECT_DEATH(pstlb::backends::parse_backend("not-a-backend"), "precondition");
+}
+
+TEST(ContractDeath, UnknownMachineNameAborts) {
+  EXPECT_DEATH(pstlb::sim::machines::by_name("Mach Z"), "precondition");
+}
+
+TEST(ContractDeath, UnknownKernelNameAborts) {
+  EXPECT_DEATH(pstlb::sim::parse_kernel("frobnicate"), "precondition");
+}
+
+TEST(ContractDeath, UnknownProfileNameAborts) {
+  EXPECT_DEATH(pstlb::sim::profiles::by_name("MSVC-PPL"), "precondition");
+}
+
+TEST(ContractDeath, SimulateCpuRequiresMachineAndProfile) {
+  pstlb::sim::engine_config config;  // null machine/profile
+  EXPECT_DEATH(pstlb::sim::simulate_cpu(config), "precondition");
+}
+
+TEST(Exceptions, SeqPathPropagates) {
+  std::vector<int> v(100, 1);
+  bool caught = false;
+  try {
+    pstlb::for_each(pstlb::exec::seq, v.begin(), v.end(), [](int& x) {
+      if (x == 1) { throw std::runtime_error("boom"); }
+    });
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(Exceptions, SmallInputFallbackPropagates) {
+  // Below seq_threshold the parallel policy runs sequentially on the caller
+  // thread, so exceptions surface normally.
+  pstlb::exec::fork_join_policy pol{4};  // seq_threshold = 1024
+  std::vector<int> v(100, 1);
+  bool caught = false;
+  try {
+    pstlb::for_each(pol, v.begin(), v.end(), [](int&) {
+      throw std::runtime_error("boom");
+    });
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(ContractDeath, ParallelPathExceptionTerminates) {
+  // Matches std::execution::par semantics: an escaping exception from a
+  // worker calls std::terminate.
+  pstlb::exec::steal_policy pol{4};
+  pol.seq_threshold = 0;
+  std::vector<int> v(100000, 1);
+  EXPECT_DEATH(
+      {
+        pstlb::for_each(pol, v.begin(), v.end(), [](int& x) {
+          if (x == 1) { throw std::runtime_error("boom"); }
+        });
+      },
+      "");
+}
+
+}  // namespace

@@ -1,0 +1,299 @@
+// Unit tests for the internal machinery: merge-path splitting, value-aligned
+// set chunking, the counting output iterator, chunk tables, and the dispatch
+// rules of exec::dispatch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "backends/seq.hpp"
+#include "backends/skeletons.hpp"
+#include "pstlb/algo_set.hpp"
+#include "pstlb/detail/merge.hpp"
+#include "pstlb/pstlb.hpp"
+
+namespace {
+
+using pstlb::index_t;
+
+// --- merge_path_split --------------------------------------------------------
+
+TEST(MergePath, SplitsSimpleMerge) {
+  const std::vector<int> a{1, 3, 5, 7};
+  const std::vector<int> b{2, 4, 6, 8};
+  // After d merged outputs, i elements came from a.
+  // merged: 1 2 3 4 5 6 7 8 -> prefix from a: 1,1,2,2,3,3,4,4
+  const index_t expected[]{0, 1, 1, 2, 2, 3, 3, 4, 4};
+  for (index_t d = 0; d <= 8; ++d) {
+    EXPECT_EQ(pstlb::detail::merge_path_split(a.begin(), 4, b.begin(), 4, d,
+                                              std::less<>{}),
+              expected[d])
+        << "d=" << d;
+  }
+}
+
+TEST(MergePath, TiesTakeFromAFirst) {
+  const std::vector<int> a{5, 5};
+  const std::vector<int> b{5, 5};
+  // Stable merge: a's fives precede b's.
+  EXPECT_EQ(pstlb::detail::merge_path_split(a.begin(), 2, b.begin(), 2, 1,
+                                            std::less<>{}),
+            1);
+  EXPECT_EQ(pstlb::detail::merge_path_split(a.begin(), 2, b.begin(), 2, 2,
+                                            std::less<>{}),
+            2);
+  EXPECT_EQ(pstlb::detail::merge_path_split(a.begin(), 2, b.begin(), 2, 3,
+                                            std::less<>{}),
+            2);
+}
+
+TEST(MergePath, EmptySides) {
+  const std::vector<int> a{1, 2, 3};
+  const std::vector<int> b{};
+  EXPECT_EQ(pstlb::detail::merge_path_split(a.begin(), 3, b.begin(), 0, 2,
+                                            std::less<>{}),
+            2);
+  EXPECT_EQ(pstlb::detail::merge_path_split(b.begin(), 0, a.begin(), 3, 2,
+                                            std::less<>{}),
+            0);
+}
+
+TEST(MergeParts, CoverExactlyOnceAndInOrder) {
+  std::vector<int> a(1000);
+  std::vector<int> b(1700);
+  for (std::size_t i = 0; i < a.size(); ++i) { a[i] = static_cast<int>(3 * i); }
+  for (std::size_t i = 0; i < b.size(); ++i) { b[i] = static_cast<int>(2 * i + 1); }
+  const auto parts =
+      pstlb::detail::make_merge_parts(a.begin(), 1000, b.begin(), 1700, 7,
+                                      std::less<>{});
+  index_t prev_a = 0;
+  index_t prev_b = 0;
+  for (const auto& part : parts) {
+    EXPECT_EQ(part.a0, prev_a);
+    EXPECT_EQ(part.b0, prev_b);
+    EXPECT_LE(part.a0, part.a1);
+    EXPECT_LE(part.b0, part.b1);
+    prev_a = part.a1;
+    prev_b = part.b1;
+  }
+  EXPECT_EQ(prev_a, 1000);
+  EXPECT_EQ(prev_b, 1700);
+
+  // Merging the parts independently reproduces std::merge.
+  std::vector<int> out(2700), expected(2700);
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), expected.begin());
+  for (const auto& part : parts) {
+    std::merge(a.begin() + part.a0, a.begin() + part.a1, b.begin() + part.b0,
+               b.begin() + part.b1, out.begin() + part.a0 + part.b0);
+  }
+  EXPECT_EQ(out, expected);
+}
+
+// --- multiway merge -----------------------------------------------------------
+
+TEST(MultiwayMerge, KwaySequentialMatchesRepeatedStdMerge) {
+  std::vector<std::vector<int>> runs_data;
+  for (int r = 0; r < 5; ++r) {
+    std::vector<int> run;
+    for (int i = 0; i < 300 + r * 37; ++i) { run.push_back(i * (r + 2) % 777); }
+    std::sort(run.begin(), run.end());
+    runs_data.push_back(std::move(run));
+  }
+  std::vector<pstlb::detail::run_ref<std::vector<int>::iterator>> runs;
+  std::vector<int> expected;
+  for (auto& run : runs_data) {
+    runs.push_back({run.begin(), run.end()});
+    expected.insert(expected.end(), run.begin(), run.end());
+  }
+  std::sort(expected.begin(), expected.end());
+  std::vector<int> out(expected.size());
+  pstlb::detail::kway_merge_segments(runs, out.begin(), std::less<>{});
+  EXPECT_EQ(out, expected);
+}
+
+TEST(MultiwayMerge, ParallelMatchesSortAndIsStable) {
+  // Stability across runs: equal keys keep run order; within a run, order.
+  struct keyed {
+    int key;
+    int run;
+    int pos;
+  };
+  std::vector<std::vector<keyed>> runs_data;
+  for (int r = 0; r < 6; ++r) {
+    std::vector<keyed> run;
+    for (int i = 0; i < 5000; ++i) { run.push_back({(i * 13 + r) % 50, r, i}); }
+    std::stable_sort(run.begin(), run.end(),
+                     [](const keyed& a, const keyed& b) { return a.key < b.key; });
+    runs_data.push_back(std::move(run));
+  }
+  std::vector<pstlb::detail::run_ref<std::vector<keyed>::iterator>> runs;
+  std::size_t total = 0;
+  for (auto& run : runs_data) {
+    runs.push_back({run.begin(), run.end()});
+    total += run.size();
+  }
+  std::vector<keyed> out(total);
+  pstlb::backends::steal_backend be(4);
+  pstlb::detail::parallel_multiway_merge(
+      be, runs, out.begin(),
+      [](const keyed& a, const keyed& b) { return a.key < b.key; });
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    ASSERT_LE(out[i - 1].key, out[i].key) << i;
+    if (out[i - 1].key == out[i].key) {
+      // stability: (run, pos) lexicographic within equal keys
+      ASSERT_LE(out[i - 1].run, out[i].run) << i;
+      if (out[i - 1].run == out[i].run) { ASSERT_LT(out[i - 1].pos, out[i].pos); }
+    }
+  }
+}
+
+TEST(MultiwaySort, ForkJoinPolicyUsesMultiwayAndSortsCorrectly) {
+  // fork_join_policy defaults to multiway_sort=true (the GNU model); verify
+  // end-to-end and compare against the binary-merge path.
+  pstlb::exec::fork_join_policy multiway{4};
+  multiway.seq_threshold = 0;
+  EXPECT_TRUE(multiway.multiway_sort);
+  pstlb::exec::steal_policy binary{4};
+  binary.seq_threshold = 0;
+  EXPECT_FALSE(binary.multiway_sort);
+
+  for (index_t n : {index_t{100}, index_t{65536}, index_t{100003}}) {
+    std::vector<long long> v1(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      v1[static_cast<std::size_t>(i)] = (i * 2654435761LL) % 10007;
+    }
+    auto v2 = v1;
+    auto expected = v1;
+    std::sort(expected.begin(), expected.end());
+    pstlb::sort(multiway, v1.begin(), v1.end());
+    pstlb::sort(binary, v2.begin(), v2.end());
+    ASSERT_EQ(v1, expected) << n;
+    ASSERT_EQ(v2, expected) << n;
+  }
+}
+
+// --- set chunking -----------------------------------------------------------
+
+TEST(SetChunks, NeverSplitEqualRuns) {
+  // Long equal runs: every copy of a value must land in exactly one chunk.
+  std::vector<int> a(3000);
+  std::vector<int> b(2000);
+  for (std::size_t i = 0; i < a.size(); ++i) { a[i] = static_cast<int>(i / 100); }
+  for (std::size_t i = 0; i < b.size(); ++i) { b[i] = static_cast<int>(i / 50); }
+  const auto chunks =
+      pstlb::detail::make_set_chunks(a.begin(), 3000, b.begin(), 2000, 16,
+                                     std::less<>{});
+  index_t prev_a = 0;
+  index_t prev_b = 0;
+  for (const auto& chunk : chunks) {
+    EXPECT_EQ(chunk.a0, prev_a);
+    EXPECT_EQ(chunk.b0, prev_b);
+    if (chunk.a1 < 3000 && chunk.a1 > 0) {
+      // Boundary is the first occurrence of its value.
+      EXPECT_NE(a[static_cast<std::size_t>(chunk.a1)],
+                a[static_cast<std::size_t>(chunk.a1) - 1]);
+    }
+    prev_a = chunk.a1;
+    prev_b = chunk.b1;
+  }
+  EXPECT_EQ(prev_a, 3000);
+  EXPECT_EQ(prev_b, 2000);
+}
+
+TEST(CountingOutputIterator, CountsAssignments) {
+  pstlb::detail::counting_output_iterator it;
+  const std::vector<int> a{1, 3, 5};
+  const std::vector<int> b{2, 3, 4};
+  auto end = std::set_union(a.begin(), a.end(), b.begin(), b.end(), it);
+  EXPECT_EQ(end.count(), 5);  // 1 2 3 4 5
+}
+
+// --- chunk_table ---------------------------------------------------------------
+
+TEST(ChunkTable, CoversRangeWithFixedBounds) {
+  for (index_t n : {index_t{1}, index_t{100}, index_t{4096}, index_t{100000}}) {
+    const pstlb::backends::chunk_table table(n, 4);
+    index_t covered = 0;
+    for (index_t c = 0; c < table.count; ++c) {
+      index_t b = 0;
+      index_t e = 0;
+      table.bounds(c, b, e);
+      EXPECT_EQ(b, covered);
+      EXPECT_LT(b, e);
+      covered = e;
+    }
+    EXPECT_EQ(covered, n);
+  }
+}
+
+TEST(ChunkTable, RespectsMinChunk) {
+  const pstlb::backends::chunk_table table(1000, 64, 256);
+  EXPECT_LE(table.count, pstlb::ceil_div(1000, 256));
+}
+
+// --- dispatch rules ---------------------------------------------------------------
+
+TEST(Dispatch, SeqPolicyAlwaysSequential) {
+  bool par_ran = false;
+  pstlb::exec::dispatch<double*>(
+      pstlb::exec::seq, 1 << 20, [] {}, [&](auto, index_t) { par_ran = true; });
+  EXPECT_FALSE(par_ran);
+}
+
+TEST(Dispatch, ThresholdGovernsPath) {
+  pstlb::exec::steal_policy pol{4};
+  pol.seq_threshold = 1000;
+  bool par_ran = false;
+  pstlb::exec::dispatch<double*>(
+      pol, 999, [] {}, [&](auto, index_t) { par_ran = true; });
+  EXPECT_FALSE(par_ran);
+  pstlb::exec::dispatch<double*>(
+      pol, 1000, [] {}, [&](auto, index_t) { par_ran = true; });
+  EXPECT_TRUE(par_ran);
+}
+
+TEST(Dispatch, SingleThreadPolicyStaysSequential) {
+  pstlb::exec::steal_policy pol{1};
+  pol.seq_threshold = 0;
+  bool par_ran = false;
+  pstlb::exec::dispatch<double*>(
+      pol, 1 << 20, [] {}, [&](auto, index_t) { par_ran = true; });
+  EXPECT_FALSE(par_ran);
+}
+
+TEST(Dispatch, ExplicitGrainIsForwarded) {
+  pstlb::exec::steal_policy pol{4};
+  pol.seq_threshold = 0;
+  pol.grain = 12345;
+  index_t seen = 0;
+  pstlb::exec::dispatch<double*>(
+      pol, 1 << 20, [] {}, [&](auto, index_t grain) { seen = grain; });
+  EXPECT_EQ(seen, 12345);
+}
+
+TEST(Dispatch, AutoGrainIsPositiveAndBounded) {
+  pstlb::exec::steal_policy pol{4};
+  pol.seq_threshold = 0;
+  index_t seen = 0;
+  pstlb::exec::dispatch<double*>(
+      pol, 100000, [] {}, [&](auto, index_t grain) { seen = grain; });
+  EXPECT_GT(seen, 0);
+  EXPECT_LE(seen, 100000);
+}
+
+TEST(Dispatch, NestedRegionFallsBackToSeq) {
+  pstlb::exec::steal_policy pol{4};
+  pol.seq_threshold = 0;
+  bool inner_par = false;
+  auto backend = pstlb::exec::policy_traits<pstlb::exec::steal_policy>::make(pol);
+  pstlb::backends::parallel_for(backend, index_t{4}, index_t{1},
+                                [&](index_t, index_t, unsigned) {
+                                  pstlb::exec::dispatch<double*>(
+                                      pol, 1 << 20, [] {},
+                                      [&](auto, index_t) { inner_par = true; });
+                                });
+  EXPECT_FALSE(inner_par);
+}
+
+}  // namespace

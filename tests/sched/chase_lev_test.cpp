@@ -1,0 +1,105 @@
+// Chase-Lev deque: sequential semantics and a multi-thief stress test that
+// checks every pushed item is consumed exactly once (linearizability of the
+// take/steal protocol for our usage pattern).
+#include "sched/chase_lev_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace pstlb::sched {
+namespace {
+
+TEST(ChaseLevDeque, StartsEmpty) {
+  chase_lev_deque<std::uint64_t> deque;
+  EXPECT_TRUE(deque.empty_approx());
+  EXPECT_EQ(deque.pop(), std::nullopt);
+  EXPECT_EQ(deque.steal(), std::nullopt);
+}
+
+TEST(ChaseLevDeque, LifoForOwner) {
+  chase_lev_deque<std::uint64_t> deque;
+  deque.push(1);
+  deque.push(2);
+  deque.push(3);
+  EXPECT_EQ(deque.pop(), 3u);
+  EXPECT_EQ(deque.pop(), 2u);
+  EXPECT_EQ(deque.pop(), 1u);
+  EXPECT_EQ(deque.pop(), std::nullopt);
+}
+
+TEST(ChaseLevDeque, FifoForThief) {
+  chase_lev_deque<std::uint64_t> deque;
+  deque.push(1);
+  deque.push(2);
+  deque.push(3);
+  EXPECT_EQ(deque.steal(), 1u);
+  EXPECT_EQ(deque.steal(), 2u);
+  EXPECT_EQ(deque.steal(), 3u);
+  EXPECT_EQ(deque.steal(), std::nullopt);
+}
+
+TEST(ChaseLevDeque, OwnerAndThiefInterleaved) {
+  chase_lev_deque<std::uint64_t> deque;
+  for (std::uint64_t i = 0; i < 10; ++i) { deque.push(i); }
+  EXPECT_EQ(deque.steal(), 0u);   // oldest from the top
+  EXPECT_EQ(deque.pop(), 9u);     // newest from the bottom
+  EXPECT_EQ(deque.size_approx(), 8u);
+}
+
+TEST(ChaseLevDeque, GrowsPastInitialCapacity) {
+  chase_lev_deque<std::uint64_t> deque(4);
+  constexpr std::uint64_t kCount = 10000;
+  for (std::uint64_t i = 0; i < kCount; ++i) { deque.push(i); }
+  EXPECT_EQ(deque.size_approx(), kCount);
+  for (std::uint64_t i = kCount; i-- > 0;) { EXPECT_EQ(deque.pop(), i); }
+}
+
+TEST(ChaseLevDequeStress, EveryItemConsumedExactlyOnce) {
+  constexpr int kItems = 200000;
+  constexpr int kThieves = 3;
+  chase_lev_deque<std::uint64_t> deque;
+  std::vector<std::atomic<int>> seen(kItems);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> consumed{0};
+  auto consume = [&](std::uint64_t v) {
+    seen[static_cast<std::size_t>(v)].fetch_add(1, std::memory_order_relaxed);
+    consumed.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire) ||
+             consumed.load(std::memory_order_relaxed) < kItems) {
+        if (auto item = deque.steal()) { consume(*item); }
+      }
+    });
+  }
+
+  // Owner: pushes in batches, pops some of its own.
+  std::uint64_t next = 0;
+  while (next < kItems) {
+    const std::uint64_t batch = std::min<std::uint64_t>(64, kItems - next);
+    for (std::uint64_t i = 0; i < batch; ++i) { deque.push(next++); }
+    for (int i = 0; i < 16; ++i) {
+      if (auto item = deque.pop()) { consume(*item); }
+    }
+  }
+  while (auto item = deque.pop()) { consume(*item); }
+  done.store(true, std::memory_order_release);
+  for (auto& thief : thieves) { thief.join(); }
+
+  ASSERT_EQ(consumed.load(), kItems);
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pstlb::sched

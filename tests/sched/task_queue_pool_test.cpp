@@ -1,0 +1,91 @@
+#include "sched/task_queue_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace pstlb::sched {
+namespace {
+
+TEST(TaskQueuePool, SubmitAndWaitAll) {
+  task_queue_pool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait_all();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(TaskQueuePool, WaitAllOnIdlePoolReturnsImmediately) {
+  task_queue_pool pool(2);
+  pool.wait_all();
+  SUCCEED();
+}
+
+TEST(TaskQueuePool, LoopCoversEveryIndexOnce) {
+  task_queue_pool pool(3);
+  for (const index_t n : {index_t{0}, index_t{1}, index_t{17}, index_t{4096}}) {
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    loop_context ctx;
+    ctx.n = n;
+    ctx.grain = 32;
+    ctx.state = &hits;
+    ctx.run = [](void* state, index_t b, index_t e, unsigned) {
+      auto& h = *static_cast<std::vector<std::atomic<int>>*>(state);
+      for (index_t i = b; i < e; ++i) { h[static_cast<std::size_t>(i)].fetch_add(1); }
+    };
+    pool.run(4, ctx);
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(TaskQueuePool, SlotsAreUniquePerConcurrentWorker) {
+  task_queue_pool pool(3);
+  const unsigned slots = pool.slot_count();
+  // Track concurrent occupancy per slot: never two chunks in the same slot
+  // at the same time (the invariant reductions rely on).
+  std::vector<std::atomic<int>> occupancy(slots);
+  std::atomic<bool> collision{false};
+
+  struct state_t {
+    std::vector<std::atomic<int>>* occupancy;
+    std::atomic<bool>* collision;
+  } state{&occupancy, &collision};
+
+  loop_context ctx;
+  ctx.n = 20000;
+  ctx.grain = 50;
+  ctx.state = &state;
+  ctx.run = [](void* raw, index_t, index_t, unsigned tid) {
+    auto& s = *static_cast<state_t*>(raw);
+    if ((*s.occupancy)[tid].fetch_add(1) != 0) { s.collision->store(true); }
+    // small busy wait to widen the race window
+    std::atomic<int> spin{0};
+    while (spin.fetch_add(1, std::memory_order_relaxed) < 50) {}
+    (*s.occupancy)[tid].fetch_sub(1);
+  };
+  pool.run(4, ctx);
+  EXPECT_FALSE(collision.load());
+}
+
+TEST(TaskQueuePool, GrowsForMoreParticipants) {
+  task_queue_pool pool(1);
+  std::atomic<int> count{0};
+  loop_context ctx;
+  ctx.n = 1000;
+  ctx.grain = 10;
+  ctx.state = &count;
+  ctx.run = [](void* state, index_t b, index_t e, unsigned) {
+    static_cast<std::atomic<int>*>(state)->fetch_add(static_cast<int>(e - b));
+  };
+  pool.run(6, ctx);
+  EXPECT_EQ(count.load(), 1000);
+  EXPECT_GE(pool.worker_count(), 5u);
+}
+
+}  // namespace
+}  // namespace pstlb::sched

@@ -1,0 +1,224 @@
+// CPU engine invariants: physical sanity bounds that must hold for any
+// calibration (speedup <= threads, bandwidth caps, monotonicity, placement
+// effects, fallback flags).
+#include "sim/cpu_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/run.hpp"
+
+namespace pstlb::sim {
+namespace {
+
+constexpr double kN30 = 1073741824.0;  // 2^30
+
+kernel_params params(kernel k, double n, double k_it = 1) {
+  kernel_params p;
+  p.kind = k;
+  p.n = n;
+  p.k_it = k_it;
+  return p;
+}
+
+TEST(CpuEngine, SpeedupNeverExceedsThreadCount) {
+  for (const machine* m : machines::cpus()) {
+    for (const backend_profile* prof : profiles::parallel()) {
+      for (kernel k : {kernel::for_each, kernel::reduce, kernel::sort}) {
+        for (unsigned t : {2u, 8u, m->cores}) {
+          const double self_speedup =
+              run(*m, *prof, params(k, kN30), 1).seconds /
+              run(*m, *prof, params(k, kN30), t).seconds;
+          // Sort switches algorithms between t=1 (introsort) and t>1
+          // (mergesort, which does asymptotically less comparison work per
+          // element here), so mild superlinearity is legitimate there.
+          const double slack = k == kernel::sort ? 1.20 : 1.05;
+          EXPECT_LE(self_speedup, t * slack)
+              << prof->name << " " << kernel_name(k) << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(CpuEngine, TimeMonotoneInProblemSize) {
+  const machine& c = machines::mach_c();
+  for (const backend_profile* prof : profiles::all()) {
+    double prev = 0;
+    for (double n = 8; n <= kN30; n *= 64) {
+      const auto r = run(c, *prof, params(kernel::for_each, n), 128);
+      ASSERT_GE(r.seconds, prev) << prof->name << " n=" << n;
+      prev = r.seconds;
+    }
+  }
+}
+
+TEST(CpuEngine, BandwidthNeverExceedsStream) {
+  // Memory-bound kernel at full thread count: implied DRAM bandwidth must
+  // stay below the machine's measured all-core STREAM number.
+  for (const machine* m : machines::cpus()) {
+    for (const backend_profile* prof : profiles::parallel()) {
+      const auto r = run(*m, *prof, params(kernel::reduce, kN30), m->cores);
+      const double implied_gbs = r.ctrs.bytes_total() / r.seconds / 1e9;
+      EXPECT_LE(implied_gbs, m->bwall_gbs * 1.01) << m->name << " " << prof->name;
+    }
+  }
+}
+
+TEST(CpuEngine, SequentialTouchThrottlesMemoryBoundKernels) {
+  // Fig. 1 mechanism: node-0-only pages bottleneck on one node's
+  // controllers; first-touch spreading restores full-machine bandwidth.
+  const machine& a = machines::mach_a();
+  const auto& tbb = profiles::gcc_tbb();
+  const double spread =
+      run(a, tbb, params(kernel::for_each, kN30), 32, numa::placement::parallel_touch)
+          .seconds;
+  const double node0 =
+      run(a, tbb, params(kernel::for_each, kN30), 32, numa::placement::sequential_touch)
+          .seconds;
+  EXPECT_GT(node0, spread * 1.3);
+  EXPECT_LT(node0, spread * 2.5);
+}
+
+TEST(CpuEngine, ComputeBoundKernelsDontCareAboutPlacement) {
+  const machine& a = machines::mach_a();
+  const auto& tbb = profiles::gcc_tbb();
+  const double spread = run(a, tbb, params(kernel::for_each, 1 << 24, 1000), 32,
+                            numa::placement::parallel_touch)
+                            .seconds;
+  const double node0 = run(a, tbb, params(kernel::for_each, 1 << 24, 1000), 32,
+                           numa::placement::sequential_touch)
+                           .seconds;
+  EXPECT_NEAR(node0 / spread, 1.0, 0.1);
+}
+
+TEST(CpuEngine, UnsupportedKernelsAreFlagged) {
+  const auto r =
+      run(machines::mach_a(), profiles::gcc_gnu(), params(kernel::inclusive_scan, kN30), 32);
+  EXPECT_FALSE(r.supported);
+}
+
+TEST(CpuEngine, SequentialFallbackIgnoresThreadCount) {
+  // NVC-OMP inclusive_scan runs sequential code regardless of threads.
+  const auto& nvc = profiles::nvc_omp();
+  const machine& c = machines::mach_c();
+  const double t1 = run(c, nvc, params(kernel::inclusive_scan, kN30), 1).seconds;
+  const double t128 = run(c, nvc, params(kernel::inclusive_scan, kN30), 128).seconds;
+  EXPECT_NEAR(t128 / t1, 1.0, 1e-9);
+}
+
+TEST(CpuEngine, SeqThresholdSwitchesImplementation) {
+  // GNU runs sequentially below 2^10 elements (Section 5.2): right at the
+  // boundary the parallel version kicks in.
+  const auto& gnu = profiles::gcc_gnu();
+  const machine& a = machines::mach_a();
+  const auto below = run(a, gnu, params(kernel::for_each, 512), 32);
+  const auto above = run(a, gnu, params(kernel::for_each, 1024), 32);
+  // Below threshold: no fork cost, so the per-element time is tiny;
+  // above: the fork overhead appears (~6 us dominates 1024 elements).
+  EXPECT_LT(below.seconds, above.seconds);
+  EXPECT_GT(above.seconds, gnu.fork_s);
+}
+
+TEST(CpuEngine, SmallSizesAreOverheadDominatedForAllParallelBackends) {
+  // Fig. 2: sequential beats parallel below ~2^10 elements.
+  const machine& a = machines::mach_a();
+  const double seq = gcc_seq_seconds(a, params(kernel::for_each, 256));
+  for (const backend_profile* prof : profiles::parallel()) {
+    if (prof->seq_threshold_foreach > 256) { continue; }  // falls back anyway
+    const double par = run(a, *prof, params(kernel::for_each, 256), 32).seconds;
+    EXPECT_GT(par, seq) << prof->name;
+  }
+}
+
+TEST(CpuEngine, LargeSizesFavorParallelForAllBackends) {
+  // Fig. 2: by 2^30 every parallel backend beats sequential.
+  for (const machine* m : machines::cpus()) {
+    const double seq = gcc_seq_seconds(*m, params(kernel::for_each, kN30));
+    for (const backend_profile* prof : profiles::parallel()) {
+      const double par = run(*m, *prof, params(kernel::for_each, kN30), m->cores).seconds;
+      EXPECT_LT(par, seq) << m->name << " " << prof->name;
+    }
+  }
+}
+
+TEST(CpuEngine, CountersMatchKernelAccounting) {
+  const auto r = run(machines::mach_a(), profiles::gcc_tbb(),
+                     params(kernel::for_each, kN30), 32);
+  // Table 3: exactly one scalar FLOP per element per k_it.
+  EXPECT_DOUBLE_EQ(r.ctrs.fp_scalar, kN30);
+  EXPECT_DOUBLE_EQ(r.ctrs.fp_256, 0);
+  // Instructions per element calibrated to 16 (1.72T / 100 calls / 2^30).
+  EXPECT_NEAR(r.ctrs.instructions / kN30, 16.0, 0.5);
+}
+
+TEST(CpuEngine, VectorizedReduceReports256BitOps) {
+  const auto icc = run(machines::mach_a(), profiles::icc_tbb(),
+                       params(kernel::reduce, kN30), 32);
+  EXPECT_GT(icc.ctrs.fp_256, 0);
+  EXPECT_NEAR(icc.ctrs.fp_256, kN30 / 4, kN30 / 100);  // Table 4: 26G per call
+  const auto gcc = run(machines::mach_a(), profiles::gcc_tbb(),
+                       params(kernel::reduce, kN30), 32);
+  EXPECT_DOUBLE_EQ(gcc.ctrs.fp_256, 0);
+  EXPECT_DOUBLE_EQ(gcc.ctrs.fp_scalar, kN30);
+}
+
+TEST(CpuEngine, ThreadsClampToMachineCores) {
+  const machine& a = machines::mach_a();
+  const auto at_cores = run(a, profiles::gcc_tbb(), params(kernel::reduce, kN30), 32);
+  const auto beyond = run(a, profiles::gcc_tbb(), params(kernel::reduce, kN30), 1024);
+  EXPECT_DOUBLE_EQ(at_cores.seconds, beyond.seconds);
+}
+
+TEST(CpuEngine, DeterministicAcrossCalls) {
+  const auto a = run(machines::mach_b(), profiles::gcc_hpx(),
+                     params(kernel::sort, kN30), 64);
+  const auto b = run(machines::mach_b(), profiles::gcc_hpx(),
+                     params(kernel::sort, kN30), 64);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(CpuEngine, ScatterBeatsCompactAtLowThreadCounts) {
+  // 8 threads on Mach B: scatter touches 8 memory controllers, compact one.
+  const machine& b = machines::mach_b();
+  const auto& tbb = profiles::gcc_tbb();
+  const double scatter = run(b, tbb, params(kernel::reduce, kN30), 8,
+                             numa::placement::parallel_touch,
+                             thread_placement::scatter)
+                             .seconds;
+  const double compact = run(b, tbb, params(kernel::reduce, kN30), 8,
+                             numa::placement::parallel_touch,
+                             thread_placement::compact)
+                             .seconds;
+  EXPECT_LT(scatter, compact);
+  // At full machine the placements converge.
+  const double scatter_full = run(b, tbb, params(kernel::reduce, kN30), 64,
+                                  numa::placement::parallel_touch,
+                                  thread_placement::scatter)
+                                  .seconds;
+  const double compact_full = run(b, tbb, params(kernel::reduce, kN30), 64,
+                                  numa::placement::parallel_touch,
+                                  thread_placement::compact)
+                                  .seconds;
+  EXPECT_NEAR(scatter_full / compact_full, 1.0, 0.05);
+}
+
+TEST(RunHelpers, SweepsAreWellFormed) {
+  const auto sizes = problem_sizes(3, 30);
+  EXPECT_EQ(sizes.size(), 28u);
+  EXPECT_DOUBLE_EQ(sizes.front(), 8);
+  EXPECT_DOUBLE_EQ(sizes.back(), kN30);
+  const auto threads = thread_sweep(128);
+  EXPECT_EQ(threads.front(), 1u);
+  EXPECT_EQ(threads.back(), 128u);
+  const auto uneven = thread_sweep(48);
+  EXPECT_EQ(uneven.back(), 48u);
+}
+
+TEST(RunHelpers, EfficiencyTableProducesPowerOfTwoish) {
+  const unsigned t = max_threads_at_efficiency(
+      machines::mach_a(), profiles::gcc_tbb(), params(kernel::for_each, kN30, 1000), 0.7);
+  EXPECT_GE(t, 16u);  // Table 6: k=1000 keeps all 32 cores >= 70 % efficient
+}
+
+}  // namespace
+}  // namespace pstlb::sim

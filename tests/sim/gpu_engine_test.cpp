@@ -1,0 +1,111 @@
+// GPU model invariants and the Fig. 8/9 mechanisms.
+#include "sim/gpu_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/run.hpp"
+
+namespace pstlb::sim {
+namespace {
+
+gpu_config config(const gpu& dev, kernel k, double n, double k_it, bool resident,
+                  bool transfer_back) {
+  gpu_config c;
+  c.device = &dev;
+  c.params.kind = k;
+  c.params.n = n;
+  c.params.elem_bytes = 4;  // float, as in Section 5.8
+  c.params.k_it = k_it;
+  c.data_on_device = resident;
+  c.transfer_back = transfer_back;
+  return c;
+}
+
+TEST(GpuEngine, LaunchLatencyFloorsTinyKernels) {
+  const gpu& d = machines::mach_d();
+  const auto r = simulate_gpu(config(d, kernel::for_each, 8, 1, true, false));
+  EXPECT_GE(r.seconds, d.launch_latency_s);
+  EXPECT_LT(r.seconds, d.launch_latency_s * 2);
+}
+
+TEST(GpuEngine, TransfersDominateLowIntensity) {
+  const gpu& d = machines::mach_d();
+  const auto r =
+      simulate_gpu(config(d, kernel::for_each, 1 << 26, 1, false, true));
+  EXPECT_GT(r.h2d_seconds + r.d2h_seconds, 5 * r.kernel_seconds);
+}
+
+TEST(GpuEngine, ResidencyRemovesH2d) {
+  const gpu& d = machines::mach_d();
+  const auto cold = simulate_gpu(config(d, kernel::reduce, 1 << 26, 1, false, false));
+  const auto warm = simulate_gpu(config(d, kernel::reduce, 1 << 26, 1, true, false));
+  EXPECT_GT(cold.h2d_seconds, 0);
+  EXPECT_DOUBLE_EQ(warm.h2d_seconds, 0);
+  EXPECT_LT(warm.seconds, cold.seconds);
+}
+
+TEST(GpuEngine, CrossoverMonotoneInIntensity) {
+  // Fig. 8: raising k_it amortizes the transfers; the ratio
+  // transfer/(total) must fall monotonically.
+  const gpu& d = machines::mach_d();
+  double prev_ratio = 1.0;
+  for (double k : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    const auto r = simulate_gpu(config(d, kernel::for_each, 1 << 26, k, false, true));
+    const double ratio = (r.h2d_seconds + r.d2h_seconds) / r.seconds;
+    EXPECT_LE(ratio, prev_ratio + 1e-12) << "k=" << k;
+    prev_ratio = ratio;
+  }
+}
+
+TEST(GpuEngine, HighIntensityGpuBeatsParallelCpu) {
+  // Fig. 8's headline: at k_it = 10000 the T4 outperforms the 32-core CPU
+  // by an order of magnitude (paper: 23.5x).
+  const gpu& d = machines::mach_d();
+  kernel_params p;
+  p.kind = kernel::for_each;
+  p.n = 1 << 26;
+  p.elem_bytes = 4;
+  p.k_it = 10000;
+  const double cpu =
+      run(machines::mach_a(), profiles::gcc_tbb(), p, 32).seconds;
+  const auto gpu_r = simulate_gpu(config(d, kernel::for_each, 1 << 26, 10000, false, true));
+  EXPECT_GT(cpu / gpu_r.seconds, 5.0);
+  EXPECT_LT(cpu / gpu_r.seconds, 80.0);
+}
+
+TEST(GpuEngine, LowIntensityGpuLosesToSequentialCpu) {
+  // Fig. 9a: with a D2H transfer per call, the GPU is slower than even the
+  // sequential CPU for reduce.
+  const gpu& d = machines::mach_d();
+  kernel_params p;
+  p.kind = kernel::reduce;
+  p.n = 1 << 24;
+  p.elem_bytes = 4;
+  const double seq_cpu = gcc_seq_seconds(machines::mach_a(), p);
+  const auto gpu_r = simulate_gpu(config(d, kernel::reduce, 1 << 24, 1, false, true));
+  EXPECT_GT(gpu_r.seconds, seq_cpu);
+}
+
+TEST(GpuEngine, ChainedReduceBeatsCpu) {
+  // Fig. 9b: resident data flips the comparison.
+  const gpu& d = machines::mach_d();
+  kernel_params p;
+  p.kind = kernel::reduce;
+  p.n = 1 << 26;
+  p.elem_bytes = 4;
+  const double par_cpu = run(machines::mach_a(), profiles::gcc_tbb(), p, 32).seconds;
+  const auto gpu_r = simulate_gpu(config(d, kernel::reduce, 1 << 26, 1, true, false));
+  EXPECT_LT(gpu_r.seconds, par_cpu);
+}
+
+TEST(GpuEngine, TeslaOutrunsAmpereA2) {
+  // Mach D (T4) has more cores and bandwidth than Mach E (A2).
+  const auto d = simulate_gpu(
+      config(machines::mach_d(), kernel::for_each, 1 << 26, 1000, true, false));
+  const auto e = simulate_gpu(
+      config(machines::mach_e(), kernel::for_each, 1 << 26, 1000, true, false));
+  EXPECT_LT(d.seconds, e.seconds);
+}
+
+}  // namespace
+}  // namespace pstlb::sim

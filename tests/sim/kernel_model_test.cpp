@@ -1,0 +1,97 @@
+#include "sim/kernel_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pstlb::sim {
+namespace {
+
+kernel_params params(kernel k, double n, double k_it = 1) {
+  kernel_params p;
+  p.kind = k;
+  p.n = n;
+  p.k_it = k_it;
+  return p;
+}
+
+TEST(KernelModel, NamesRoundTrip) {
+  for (kernel k : {kernel::find, kernel::for_each, kernel::reduce,
+                   kernel::inclusive_scan, kernel::sort, kernel::copy,
+                   kernel::transform, kernel::count, kernel::min_element,
+                   kernel::exclusive_scan}) {
+    EXPECT_EQ(parse_kernel(kernel_name(k)), k);
+  }
+}
+
+TEST(KernelModel, ForEachTrafficMatchesWriteAllocateAccounting) {
+  // 2^30 doubles: load + RFO + write-back = 24 GiB per call, the magnitude
+  // Likwid reports in Table 3 (17.6-21.3 GiB after backend-specific NT
+  // stores, i.e. 0.73-0.89 of the model).
+  const auto phases = phases_for(params(kernel::for_each, 1073741824.0),
+                                 algo_shape{true, 32, 0});
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(total_bytes(phases), 1073741824.0 * 24);
+}
+
+TEST(KernelModel, ForEachComputeScalesWithKit) {
+  const auto low = phases_for(params(kernel::for_each, 1000, 1), algo_shape{true, 4, 0});
+  const auto high =
+      phases_for(params(kernel::for_each, 1000, 1000), algo_shape{true, 4, 0});
+  EXPECT_DOUBLE_EQ(high[0].flops_per_elem, 1000 * low[0].flops_per_elem);
+}
+
+TEST(KernelModel, FindScansHalfInExpectation) {
+  const auto phases = phases_for(params(kernel::find, 1 << 20), algo_shape{true, 8, 0});
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(phases[0].executed_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(total_bytes(phases), (1 << 20) * 8 * 0.5);
+}
+
+TEST(KernelModel, ParallelScanHasThreePhases) {
+  const auto par =
+      phases_for(params(kernel::inclusive_scan, 1 << 20), algo_shape{true, 16, 0});
+  ASSERT_EQ(par.size(), 3u);
+  EXPECT_TRUE(par[0].parallel);
+  EXPECT_FALSE(par[1].parallel);  // prefix of chunk sums is serial
+  EXPECT_TRUE(par[2].parallel);
+  // Parallel scan moves more data than the serial one — the reason its
+  // speedup ceiling is BW_ratio * 24/32 (Section 5.4).
+  const auto seq =
+      phases_for(params(kernel::inclusive_scan, 1 << 20), algo_shape{false, 1, 0});
+  ASSERT_EQ(seq.size(), 1u);
+  EXPECT_GT(total_bytes(par), total_bytes(seq));
+}
+
+TEST(KernelModel, SortMergeRoundsFollowBackendShape) {
+  const auto binary = phases_for(params(kernel::sort, 1 << 24), algo_shape{true, 32, 0});
+  const auto multiway =
+      phases_for(params(kernel::sort, 1 << 24), algo_shape{true, 32, 1});
+  ASSERT_EQ(binary.size(), 2u);
+  ASSERT_EQ(multiway.size(), 2u);
+  // Binary pairwise merging re-streams the array log2(64) = 6 times; the
+  // GNU multiway merge does it once — Section 5.6's explanation.
+  EXPECT_GT(binary[1].elems, 5 * multiway[1].elems);
+}
+
+TEST(KernelModel, SequentialSortIsSinglePhase) {
+  const auto phases = phases_for(params(kernel::sort, 1 << 20), algo_shape{false, 1, 0});
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_FALSE(phases[0].parallel);
+  EXPECT_GT(phases[0].flops_per_elem, 10);  // ~4 log2(n)
+}
+
+TEST(KernelModel, ReduceIsReadOnly) {
+  const auto phases = phases_for(params(kernel::reduce, 1000), algo_shape{true, 4, 0});
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(phases[0].writes_per_elem, 0);
+  EXPECT_TRUE(phases[0].vectorizable);
+}
+
+TEST(KernelModel, ElemBytesPropagate) {
+  kernel_params p = params(kernel::reduce, 1000);
+  p.elem_bytes = 4;  // float, the GPU experiments
+  const auto phases = phases_for(p, algo_shape{true, 4, 0});
+  EXPECT_DOUBLE_EQ(phases[0].reads_per_elem, 4);
+}
+
+}  // namespace
+}  // namespace pstlb::sim

@@ -1,0 +1,57 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pstlb::sim {
+namespace {
+
+TEST(Machines, TableTwoValues) {
+  const machine& a = machines::mach_a();
+  EXPECT_EQ(a.cores, 32u);
+  EXPECT_EQ(a.numa_nodes, 2u);
+  EXPECT_DOUBLE_EQ(a.bw1_gbs, 11.7);
+  EXPECT_DOUBLE_EQ(a.bwall_gbs, 135.0);
+  EXPECT_DOUBLE_EQ(a.freq_ghz, 2.10);
+
+  const machine& b = machines::mach_b();
+  EXPECT_EQ(b.cores, 64u);
+  EXPECT_EQ(b.numa_nodes, 8u);
+  EXPECT_DOUBLE_EQ(b.bwall_gbs, 204.0);
+
+  const machine& c = machines::mach_c();
+  EXPECT_EQ(c.cores, 128u);
+  EXPECT_DOUBLE_EQ(c.bw1_gbs, 42.6);
+  EXPECT_DOUBLE_EQ(c.bwall_gbs, 249.0);
+}
+
+TEST(Machines, DerivedQuantities) {
+  const machine& b = machines::mach_b();
+  EXPECT_EQ(b.cores_per_node(), 8u);
+  EXPECT_DOUBLE_EQ(b.node_bw_gbs(), 204.0 / 8);
+  EXPECT_DOUBLE_EQ(b.l2_aggregate_bytes(4), 4 * 512.0 * 1024);
+}
+
+TEST(Machines, LlcOrderingMatchesPaperDiscussion) {
+  // Section 5.4: 2^26 doubles (512 MiB) exceed Mach C's LLC;
+  // the LLC capacities must be ordered A < B < C.
+  EXPECT_LT(machines::mach_a().llc_total_bytes, machines::mach_b().llc_total_bytes);
+  EXPECT_LT(machines::mach_b().llc_total_bytes, machines::mach_c().llc_total_bytes);
+  EXPECT_LE(machines::mach_c().llc_total_bytes, 512.0 * 1024 * 1024);
+}
+
+TEST(Machines, GpuTableValues) {
+  const gpu& d = machines::mach_d();
+  EXPECT_EQ(d.cuda_cores, 2560u);
+  EXPECT_DOUBLE_EQ(d.device_bw_gbs, 264.0);
+  const gpu& e = machines::mach_e();
+  EXPECT_EQ(e.cuda_cores, 1280u);
+  EXPECT_DOUBLE_EQ(e.device_bw_gbs, 172.0);
+}
+
+TEST(Machines, RegistryLookup) {
+  EXPECT_EQ(machines::cpus().size(), 3u);
+  EXPECT_EQ(&machines::by_name("Mach B"), &machines::mach_b());
+}
+
+}  // namespace
+}  // namespace pstlb::sim

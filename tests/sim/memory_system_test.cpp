@@ -1,0 +1,74 @@
+#include "sim/memory_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace pstlb::sim {
+namespace {
+
+TEST(MemorySystem, TierSelectionByWorkingSet) {
+  const machine& a = machines::mach_a();
+  memory_system mem(a, 0.0, 1, true);
+  // 32 threads x 1 MiB L2 = 32 MiB private capacity.
+  EXPECT_EQ(mem.tier_for(16.0 * 1024 * 1024, 32), memory_tier::l2);
+  EXPECT_EQ(mem.tier_for(40.0 * 1024 * 1024, 32), memory_tier::llc);  // < 44 MiB
+  EXPECT_EQ(mem.tier_for(8.0 * 1024 * 1024 * 1024, 32), memory_tier::dram);
+}
+
+TEST(MemorySystem, SingleStreamIsLinkLimited) {
+  const machine& a = machines::mach_a();
+  memory_system mem(a, 0.0, 1, true);
+  EXPECT_DOUBLE_EQ(mem.stream_rate_gbs(memory_tier::dram, 1), a.bw1_gbs);
+}
+
+TEST(MemorySystem, ManyStreamsShareTheNode) {
+  const machine& a = machines::mach_a();
+  memory_system mem(a, 0.0, 1, true);
+  const double share16 = mem.stream_rate_gbs(memory_tier::dram, 16);
+  EXPECT_DOUBLE_EQ(share16, a.node_bw_gbs() / 16);
+  // Aggregate of one full node's streams equals the node bandwidth.
+  EXPECT_NEAR(share16 * 16, a.node_bw_gbs(), 1e-9);
+}
+
+TEST(MemorySystem, GammaPenaltyScalesDramOnly) {
+  const machine& a = machines::mach_a();
+  memory_system clean(a, 0.0, 2, true);
+  memory_system penalized(a, 1.0, 2, true);  // 1 + 1*(2-1) = 2x
+  EXPECT_DOUBLE_EQ(penalized.stream_rate_gbs(memory_tier::dram, 1),
+                   clean.stream_rate_gbs(memory_tier::dram, 1) / 2);
+  EXPECT_DOUBLE_EQ(penalized.stream_rate_gbs(memory_tier::l2, 1),
+                   clean.stream_rate_gbs(memory_tier::l2, 1));
+}
+
+TEST(MemorySystem, CacheTiersAreFasterThanDram) {
+  const machine& c = machines::mach_c();
+  memory_system mem(c, 0.0, 1, true);
+  EXPECT_GT(mem.stream_rate_gbs(memory_tier::l2, 1),
+            mem.stream_rate_gbs(memory_tier::llc, 1));
+  EXPECT_GT(mem.stream_rate_gbs(memory_tier::llc, 1),
+            mem.stream_rate_gbs(memory_tier::dram, 1));
+}
+
+TEST(MemorySystem, ThreadPlacementModels) {
+  const machine& b = machines::mach_b();  // 8 cores per node
+  memory_system scatter(b, 0.0, 8, true, thread_placement::scatter);
+  memory_system compact(b, 0.0, 1, true, thread_placement::compact);
+  EXPECT_EQ(scatter.node_of_core(0), 0u);
+  EXPECT_EQ(scatter.node_of_core(1), 1u);   // round-robin
+  EXPECT_EQ(compact.node_of_core(1), 0u);   // fills node 0 first
+  EXPECT_EQ(compact.node_of_core(7), 0u);
+  EXPECT_EQ(compact.node_of_core(8), 1u);
+}
+
+TEST(MemorySystem, HomeNodePlacementModels) {
+  const machine& b = machines::mach_b();
+  memory_system spread(b, 0.0, 8, true);
+  memory_system node0(b, 0.0, 8, false);
+  EXPECT_EQ(node0.home_node(5), 0u);
+  EXPECT_EQ(spread.home_node(5), 5u % 8);
+  EXPECT_EQ(spread.node_of_core(13), 13u % 8);
+}
+
+}  // namespace
+}  // namespace pstlb::sim

@@ -1,0 +1,87 @@
+// Per-phase breakdown invariants (engine_result::phases).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/run.hpp"
+
+namespace pstlb::sim {
+namespace {
+
+constexpr double kN30 = 1073741824.0;
+
+kernel_params params(kernel k, double n) {
+  kernel_params p;
+  p.kind = k;
+  p.n = n;
+  return p;
+}
+
+TEST(PhaseBreakdown, PhaseSecondsSumToTotal) {
+  for (const backend_profile* prof : profiles::all()) {
+    for (kernel k : {kernel::for_each, kernel::reduce, kernel::sort,
+                     kernel::inclusive_scan}) {
+      const auto r = run(machines::mach_a(), *prof, params(k, kN30), 32);
+      if (!r.supported) { continue; }
+      double sum = 0;
+      for (const auto& phase : r.phases) { sum += phase.seconds; }
+      EXPECT_NEAR(sum, r.seconds, r.seconds * 1e-9) << prof->name << " "
+                                                    << kernel_name(k);
+    }
+  }
+}
+
+TEST(PhaseBreakdown, SortHasLocalAndMergePhases) {
+  const auto r = run(machines::mach_c(), profiles::gcc_tbb(), params(kernel::sort, kN30),
+                     128);
+  ASSERT_EQ(r.phases.size(), 2u);
+  EXPECT_EQ(r.phases[0].label, "sort/local-runs");
+  EXPECT_EQ(r.phases[1].label, "sort/merge-rounds");
+  EXPECT_TRUE(r.phases[0].parallel);
+  EXPECT_GT(r.phases[0].chunks, 0u);
+}
+
+TEST(PhaseBreakdown, GnuMergeTrafficIsOneRound) {
+  // The mechanism behind GNU's sort dominance: one multiway merge round vs
+  // log2(2t) binary rounds — visible directly in the per-phase bytes.
+  const auto gnu = run(machines::mach_c(), profiles::gcc_gnu(), params(kernel::sort, kN30),
+                       128);
+  const auto tbb = run(machines::mach_c(), profiles::gcc_tbb(), params(kernel::sort, kN30),
+                       128);
+  ASSERT_EQ(gnu.phases.size(), 2u);
+  ASSERT_EQ(tbb.phases.size(), 2u);
+  EXPECT_GT(tbb.phases[1].bytes, 5.0 * gnu.phases[1].bytes);
+}
+
+TEST(PhaseBreakdown, ScanHasSerialMiddlePhase) {
+  const auto r = run(machines::mach_c(), profiles::gcc_tbb(),
+                     params(kernel::inclusive_scan, kN30), 128);
+  ASSERT_EQ(r.phases.size(), 3u);
+  EXPECT_TRUE(r.phases[0].parallel);
+  EXPECT_FALSE(r.phases[1].parallel);
+  EXPECT_TRUE(r.phases[2].parallel);
+  // The serial prefix-of-sums is negligible next to the sweeps.
+  EXPECT_LT(r.phases[1].seconds, 0.01 * r.seconds);
+}
+
+TEST(PhaseBreakdown, SmallInputsRunInCacheTier) {
+  // 2^12 doubles = 32 KiB: fits the active cores' private L2.
+  const auto r = run(machines::mach_a(), profiles::nvc_omp(),
+                     params(kernel::reduce, 1 << 12), 32);
+  ASSERT_FALSE(r.phases.empty());
+  EXPECT_EQ(r.phases[0].tier, memory_tier::l2);
+  const auto big = run(machines::mach_a(), profiles::nvc_omp(),
+                       params(kernel::reduce, kN30), 32);
+  EXPECT_EQ(big.phases[0].tier, memory_tier::dram);
+}
+
+TEST(PhaseBreakdown, SequentialRunsReportNoChunks) {
+  const auto r = run(machines::mach_a(), profiles::gcc_seq(), params(kernel::for_each, kN30),
+                     1);
+  ASSERT_EQ(r.phases.size(), 1u);
+  EXPECT_FALSE(r.phases[0].parallel);
+  EXPECT_EQ(r.phases[0].chunks, 0u);
+}
+
+}  // namespace
+}  // namespace pstlb::sim

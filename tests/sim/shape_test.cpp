@@ -1,0 +1,295 @@
+// Paper-shape assertions: the qualitative findings of Section 5 must hold in
+// the simulation — who wins, rough factors, crossovers, orderings. These are
+// the acceptance tests of the reproduction (see EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include "sim/run.hpp"
+
+namespace pstlb::sim {
+namespace {
+
+constexpr double kN30 = 1073741824.0;
+
+kernel_params params(kernel k, double n, double k_it = 1) {
+  kernel_params p;
+  p.kind = k;
+  p.n = n;
+  p.k_it = k_it;
+  return p;
+}
+
+double speedup(const machine& m, const backend_profile& p, kernel_params kp) {
+  return speedup_vs_gcc_seq(m, p, kp, m.cores, paper_alloc_for(p));
+}
+
+// --- Table 5 / Fig. 2-3: for_each ------------------------------------------
+
+TEST(Shape_ForEach, NvcOmpIsFastestAtLowIntensity) {
+  // Section 5.2: "the NVIDIA compiler with the OpenMP backend is the
+  // fastest in almost every scenario".
+  for (const machine* m : machines::cpus()) {
+    const double nvc = speedup(*m, profiles::nvc_omp(), params(kernel::for_each, kN30));
+    for (const backend_profile* other :
+         {&profiles::gcc_tbb(), &profiles::gcc_gnu(), &profiles::gcc_hpx(),
+          &profiles::icc_tbb()}) {
+      EXPECT_GT(nvc, speedup(*m, *other, params(kernel::for_each, kN30)))
+          << m->name << " vs " << other->name;
+    }
+  }
+}
+
+TEST(Shape_ForEach, HpxIsSlowestAtLowIntensity) {
+  for (const machine* m : machines::cpus()) {
+    const double hpx = speedup(*m, profiles::gcc_hpx(), params(kernel::for_each, kN30));
+    for (const backend_profile* other :
+         {&profiles::gcc_tbb(), &profiles::gcc_gnu(), &profiles::icc_tbb(),
+          &profiles::nvc_omp()}) {
+      EXPECT_LT(hpx, speedup(*m, *other, params(kernel::for_each, kN30)))
+          << m->name << " vs " << other->name;
+    }
+  }
+}
+
+TEST(Shape_ForEach, TbbConsistentAcrossCompilers) {
+  // Section 5.2: TBB performance is consistent regardless of GCC vs ICC.
+  for (const machine* m : {&machines::mach_a(), &machines::mach_c()}) {
+    const double gcc = speedup(*m, profiles::gcc_tbb(), params(kernel::for_each, kN30));
+    const double icc = speedup(*m, profiles::icc_tbb(), params(kernel::for_each, kN30));
+    EXPECT_NEAR(gcc / icc, 1.0, 0.1) << m->name;
+  }
+}
+
+TEST(Shape_ForEach, HighIntensityIsNearIdealExceptHpx) {
+  // Table 5 k_it = 1000: >= 80 % parallel efficiency for all but HPX (66 %).
+  for (const machine* m : machines::cpus()) {
+    for (const backend_profile* prof : profiles::parallel()) {
+      const double s = speedup(*m, *prof, params(kernel::for_each, kN30, 1000));
+      const double eff = s / m->cores;
+      if (prof == &profiles::gcc_hpx()) {
+        // Paper: HPX matches the others on Mach A (32.4 vs 32.5) but trails
+        // visibly on the 8-node machines (66-68 % vs 80-86 %).
+        EXPECT_GT(eff, 0.50) << m->name;
+        if (m->numa_nodes > 2) {
+          EXPECT_LT(eff, 0.78) << m->name;
+        }
+      } else {
+        EXPECT_GT(eff, 0.78) << m->name << " " << prof->name;
+      }
+    }
+  }
+}
+
+TEST(Shape_ForEach, SequentialWinsBelow2To10) {
+  // Fig. 2: crossover between 2^10 and ~2^16 on every machine.
+  for (const machine* m : machines::cpus()) {
+    for (const backend_profile* prof : profiles::parallel()) {
+      // Backends with a sequential-fallback threshold tie the baseline at
+      // small sizes (speedup exactly 1); everyone else must lose outright.
+      const double s_small = speedup(*m, *prof, params(kernel::for_each, 512));
+      EXPECT_LE(s_small, 1.0 + 1e-9) << m->name << " " << prof->name;
+      const double s_large = speedup(*m, *prof, params(kernel::for_each, 1 << 22));
+      EXPECT_GT(s_large, 1.0) << m->name << " " << prof->name;
+    }
+  }
+}
+
+// --- Table 5 / Fig. 4: find --------------------------------------------------
+
+TEST(Shape_Find, SpeedupsAreModestAndMemoryBound) {
+  // Section 5.3: best observed speedup ~6-9; STREAM ratio caps scaling.
+  for (const machine* m : machines::cpus()) {
+    for (const backend_profile* prof : profiles::parallel()) {
+      const double s = speedup(*m, *prof, params(kernel::find, kN30));
+      EXPECT_LT(s, 11.0) << m->name << " " << prof->name;
+      EXPECT_GT(s, 0.8) << m->name << " " << prof->name;
+    }
+  }
+}
+
+TEST(Shape_Find, TbbLeadsNvcAndHpxTrail) {
+  // Table 5 find column: TBB ~9 on Mach A; NVC/HPX collapse to ~1.2-1.4 on
+  // the Zen machines.
+  const double tbb_a = speedup(machines::mach_a(), profiles::gcc_tbb(),
+                               params(kernel::find, kN30));
+  EXPECT_GT(tbb_a, 5.5);
+  for (const machine* m : {&machines::mach_b(), &machines::mach_c()}) {
+    EXPECT_LT(speedup(*m, profiles::nvc_omp(), params(kernel::find, kN30)), 2.5)
+        << m->name;
+    EXPECT_LT(speedup(*m, profiles::gcc_hpx(), params(kernel::find, kN30)), 2.5)
+        << m->name;
+  }
+}
+
+// --- Table 5 / Fig. 5: inclusive_scan ---------------------------------------
+
+TEST(Shape_Scan, GnuHasNoParallelScan) {
+  EXPECT_EQ(speedup(machines::mach_c(), profiles::gcc_gnu(),
+                    params(kernel::inclusive_scan, kN30)),
+            0.0);
+}
+
+TEST(Shape_Scan, NvcFallsBackToSequential) {
+  // Table 5: NVC-OMP scan speedup ~0.9 (slightly slower than GCC seq).
+  for (const machine* m : machines::cpus()) {
+    const double s = speedup(*m, profiles::nvc_omp(), params(kernel::inclusive_scan, kN30));
+    EXPECT_NEAR(s, 0.9, 0.15) << m->name;
+  }
+}
+
+TEST(Shape_Scan, TbbScalesButModestly) {
+  // Section 5.4: TBB implementations reach ~5 on Mach C, HPX ~1.
+  const double tbb = speedup(machines::mach_c(), profiles::gcc_tbb(),
+                             params(kernel::inclusive_scan, kN30));
+  EXPECT_GT(tbb, 2.5);
+  EXPECT_LT(tbb, 7.0);
+  const double hpx = speedup(machines::mach_c(), profiles::gcc_hpx(),
+                             params(kernel::inclusive_scan, kN30));
+  EXPECT_LT(hpx, 1.6);
+}
+
+// --- Table 5 / Fig. 6: reduce -------------------------------------------------
+
+TEST(Shape_Reduce, SpeedupsNearTenOnMachA) {
+  // Table 5 reduce column, Mach A: 10-11 for TBB/GNU/NVC, ~7 for HPX.
+  for (const backend_profile* prof :
+       {&profiles::gcc_tbb(), &profiles::gcc_gnu(), &profiles::nvc_omp(),
+        &profiles::icc_tbb()}) {
+    const double s = speedup(machines::mach_a(), *prof, params(kernel::reduce, kN30));
+    EXPECT_GT(s, 8.0) << prof->name;
+    EXPECT_LT(s, 16.0) << prof->name;
+  }
+  const double hpx =
+      speedup(machines::mach_a(), profiles::gcc_hpx(), params(kernel::reduce, kN30));
+  EXPECT_LT(hpx, 8.5);
+  EXPECT_GT(hpx, 4.0);
+}
+
+TEST(Shape_Reduce, HpxCollapsesOnZenMachines) {
+  // Table 5: HPX reduce 0.9 | 1.2 on Mach B/C.
+  EXPECT_LT(speedup(machines::mach_b(), profiles::gcc_hpx(), params(kernel::reduce, kN30)),
+            1.8);
+  EXPECT_LT(speedup(machines::mach_c(), profiles::gcc_hpx(), params(kernel::reduce, kN30)),
+            2.0);
+}
+
+// --- Table 5 / Fig. 7: sort -----------------------------------------------------
+
+TEST(Shape_Sort, GnuMultiwayMergesortDominates) {
+  // Section 5.6 / Table 5: GCC-GNU is by far the best sort backend, and its
+  // lead grows with core count (66.6 on Mach C vs ~10 for the rest).
+  for (const machine* m : machines::cpus()) {
+    const double gnu = speedup(*m, profiles::gcc_gnu(), params(kernel::sort, kN30));
+    for (const backend_profile* other :
+         {&profiles::gcc_tbb(), &profiles::gcc_hpx(), &profiles::icc_tbb(),
+          &profiles::nvc_omp()}) {
+      EXPECT_GT(gnu, 1.5 * speedup(*m, *other, params(kernel::sort, kN30)))
+          << m->name << " vs " << other->name;
+    }
+  }
+  const double gnu_c =
+      speedup(machines::mach_c(), profiles::gcc_gnu(), params(kernel::sort, kN30));
+  const double gnu_a =
+      speedup(machines::mach_a(), profiles::gcc_gnu(), params(kernel::sort, kN30));
+  EXPECT_GT(gnu_c, 2.0 * gnu_a);  // the lead grows with cores
+}
+
+TEST(Shape_Sort, OthersSitNearTen) {
+  for (const backend_profile* prof :
+       {&profiles::gcc_tbb(), &profiles::icc_tbb(), &profiles::gcc_hpx()}) {
+    const double s = speedup(machines::mach_c(), *prof, params(kernel::sort, kN30));
+    EXPECT_GT(s, 5.0) << prof->name;
+    EXPECT_LT(s, 16.0) << prof->name;
+  }
+}
+
+// --- Table 6: efficiency ---------------------------------------------------------
+
+TEST(Shape_Efficiency, BackendsRarelySustain70PercentPastOneNode) {
+  // Table 6's summary: for memory-bound kernels, no backend keeps 70 %
+  // efficiency at full core count; high-intensity for_each does.
+  for (const machine* m : machines::cpus()) {
+    for (const backend_profile* prof : profiles::parallel()) {
+      const unsigned t_mem =
+          max_threads_at_efficiency(*m, *prof, params(kernel::reduce, kN30), 0.7);
+      EXPECT_LT(t_mem, m->cores) << m->name << " " << prof->name;
+    }
+  }
+  // k=1000: every non-HPX backend sustains full cores (Table 6 row 3).
+  for (const machine* m : machines::cpus()) {
+    EXPECT_EQ(max_threads_at_efficiency(*m, profiles::gcc_tbb(),
+                                        params(kernel::for_each, kN30, 1000), 0.7),
+              m->cores)
+        << m->name;
+  }
+}
+
+// --- Fig. 1: allocator ---------------------------------------------------------
+
+TEST(Shape_Allocator, CustomAllocatorHelpsForEachAndReduce) {
+  // Fig. 1: +63 % for_each (k=1), +50 % reduce on Mach A with 32 threads.
+  const machine& a = machines::mach_a();
+  for (const backend_profile* prof : {&profiles::gcc_tbb(), &profiles::nvc_omp()}) {
+    for (kernel k : {kernel::for_each, kernel::reduce}) {
+      const double custom =
+          run(a, *prof, params(k, kN30), 32, numa::placement::parallel_touch).seconds;
+      const double standard =
+          run(a, *prof, params(k, kN30), 32, numa::placement::sequential_touch).seconds;
+      const double gain = standard / custom - 1.0;
+      EXPECT_GT(gain, 0.25) << prof->name << " " << kernel_name(k);
+      EXPECT_LT(gain, 1.0) << prof->name << " " << kernel_name(k);
+    }
+  }
+}
+
+TEST(Shape_Allocator, CustomAllocatorHurtsFindAndScan) {
+  // Fig. 1: -24 % find, -19 % inclusive_scan.
+  const machine& a = machines::mach_a();
+  const auto& tbb = profiles::gcc_tbb();
+  for (kernel k : {kernel::find, kernel::inclusive_scan}) {
+    const double custom =
+        run(a, tbb, params(k, kN30), 32, numa::placement::parallel_touch).seconds;
+    const double standard =
+        run(a, tbb, params(k, kN30), 32, numa::placement::sequential_touch).seconds;
+    EXPECT_GT(custom, standard) << kernel_name(k);          // a regression...
+    EXPECT_LT(custom, standard * 1.45) << kernel_name(k);   // ...but a bounded one
+  }
+}
+
+// --- Table 3/4: counters ---------------------------------------------------------
+
+TEST(Shape_Counters, HpxExecutesTheMostInstructions) {
+  // Table 3: HPX 3.83T vs ICC 1.55T (for_each); Table 4: HPX 1.74T vs
+  // ICC 107G (reduce, > 6x everyone else).
+  const machine& a = machines::mach_a();
+  const auto hpx_fe = run(a, profiles::gcc_hpx(), params(kernel::for_each, kN30), 32);
+  const auto icc_fe = run(a, profiles::icc_tbb(), params(kernel::for_each, kN30), 32);
+  EXPECT_GT(hpx_fe.ctrs.instructions, 2.0 * icc_fe.ctrs.instructions);
+  const auto hpx_red = run(a, profiles::gcc_hpx(), params(kernel::reduce, kN30), 32);
+  for (const backend_profile* other :
+       {&profiles::gcc_tbb(), &profiles::gcc_gnu(), &profiles::icc_tbb(),
+        &profiles::nvc_omp()}) {
+    const auto r = run(a, *other, params(kernel::reduce, kN30), 32);
+    EXPECT_GT(hpx_red.ctrs.instructions, 5.0 * r.ctrs.instructions) << other->name;
+  }
+}
+
+TEST(Shape_Counters, OnlyIccAndHpxVectorizeReduce) {
+  const machine& a = machines::mach_a();
+  EXPECT_GT(run(a, profiles::icc_tbb(), params(kernel::reduce, kN30), 32).ctrs.fp_256, 0);
+  EXPECT_GT(run(a, profiles::gcc_hpx(), params(kernel::reduce, kN30), 32).ctrs.fp_256, 0);
+  EXPECT_EQ(run(a, profiles::gcc_tbb(), params(kernel::reduce, kN30), 32).ctrs.fp_256, 0);
+  EXPECT_EQ(run(a, profiles::gcc_gnu(), params(kernel::reduce, kN30), 32).ctrs.fp_256, 0);
+  EXPECT_EQ(run(a, profiles::nvc_omp(), params(kernel::reduce, kN30), 32).ctrs.fp_256, 0);
+}
+
+// --- Table 7: binary sizes --------------------------------------------------------
+
+TEST(Shape_BinarySizes, OrderingMatchesTable7) {
+  EXPECT_GT(profiles::gcc_hpx().binary_size_mib, profiles::gcc_tbb().binary_size_mib);
+  EXPECT_GT(profiles::gcc_tbb().binary_size_mib, profiles::gcc_gnu().binary_size_mib);
+  EXPECT_GT(profiles::gcc_gnu().binary_size_mib, profiles::gcc_seq().binary_size_mib);
+  EXPECT_GT(profiles::gcc_seq().binary_size_mib, profiles::nvc_omp().binary_size_mib);
+}
+
+}  // namespace
+}  // namespace pstlb::sim

@@ -1,0 +1,39 @@
+// Shared test fixtures: the backend/policy matrix every algorithm test runs
+// over, plus the size grid for boundary coverage.
+#pragma once
+
+#include <vector>
+
+#include "pstlb/exec.hpp"
+
+namespace pstlb::test {
+
+/// Thread count for tests: enough for real interleaving even on small hosts.
+inline constexpr unsigned kTestThreads = 4;
+
+/// Sizes chosen to hit boundaries: empty, single, tiny, around chunk/grain
+/// edges, non-power-of-two, and big enough to split many chunks.
+inline const std::vector<index_t>& test_sizes() {
+  static const std::vector<index_t> sizes{0,    1,    2,    3,     7,     8,
+                                          63,   64,   65,   1023,  1024,  1025,
+                                          4096, 9973, 65536};
+  return sizes;
+}
+
+/// A policy with its sequential-fallback threshold disabled so even tiny
+/// inputs exercise the parallel code path.
+template <class P>
+P make_eager(unsigned threads = kTestThreads, index_t grain = 0) {
+  P policy{threads};
+  policy.seq_threshold = 0;
+  policy.grain = grain;
+  return policy;
+}
+
+}  // namespace pstlb::test
+
+/// Typed-test backend list (policy types).
+using PstlbPolicyTypes =
+    ::testing::Types<pstlb::exec::fork_join_policy, pstlb::exec::omp_static_policy,
+                     pstlb::exec::omp_dynamic_policy, pstlb::exec::steal_policy,
+                     pstlb::exec::task_policy>;
