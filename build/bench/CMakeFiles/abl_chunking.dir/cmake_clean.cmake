@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_chunking.dir/abl_chunking.cpp.o"
+  "CMakeFiles/abl_chunking.dir/abl_chunking.cpp.o.d"
+  "abl_chunking"
+  "abl_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

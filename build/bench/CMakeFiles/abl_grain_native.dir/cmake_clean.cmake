@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_grain_native.dir/abl_grain_native.cpp.o"
+  "CMakeFiles/abl_grain_native.dir/abl_grain_native.cpp.o.d"
+  "abl_grain_native"
+  "abl_grain_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_grain_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_numa_gamma.dir/abl_numa_gamma.cpp.o"
+  "CMakeFiles/abl_numa_gamma.dir/abl_numa_gamma.cpp.o.d"
+  "abl_numa_gamma"
+  "abl_numa_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_numa_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_seq_threshold.dir/abl_seq_threshold.cpp.o"
+  "CMakeFiles/abl_seq_threshold.dir/abl_seq_threshold.cpp.o.d"
+  "abl_seq_threshold"
+  "abl_seq_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_seq_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

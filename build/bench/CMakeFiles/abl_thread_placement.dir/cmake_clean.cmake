@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_thread_placement.dir/abl_thread_placement.cpp.o"
+  "CMakeFiles/abl_thread_placement.dir/abl_thread_placement.cpp.o.d"
+  "abl_thread_placement"
+  "abl_thread_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_thread_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_arm_preview.dir/ext_arm_preview.cpp.o"
+  "CMakeFiles/ext_arm_preview.dir/ext_arm_preview.cpp.o.d"
+  "ext_arm_preview"
+  "ext_arm_preview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_arm_preview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_datatypes.dir/ext_datatypes.cpp.o"
+  "CMakeFiles/ext_datatypes.dir/ext_datatypes.cpp.o.d"
+  "ext_datatypes"
+  "ext_datatypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_datatypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

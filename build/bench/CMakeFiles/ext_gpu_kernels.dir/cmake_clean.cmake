@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_gpu_kernels.dir/ext_gpu_kernels.cpp.o"
+  "CMakeFiles/ext_gpu_kernels.dir/ext_gpu_kernels.cpp.o.d"
+  "ext_gpu_kernels"
+  "ext_gpu_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gpu_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_more_kernels.dir/ext_more_kernels.cpp.o"
+  "CMakeFiles/ext_more_kernels.dir/ext_more_kernels.cpp.o.d"
+  "ext_more_kernels"
+  "ext_more_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_more_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

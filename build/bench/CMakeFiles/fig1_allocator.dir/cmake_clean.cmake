@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_allocator.dir/fig1_allocator.cpp.o"
+  "CMakeFiles/fig1_allocator.dir/fig1_allocator.cpp.o.d"
+  "fig1_allocator"
+  "fig1_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_foreach_problem.dir/fig2_foreach_problem.cpp.o"
+  "CMakeFiles/fig2_foreach_problem.dir/fig2_foreach_problem.cpp.o.d"
+  "fig2_foreach_problem"
+  "fig2_foreach_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_foreach_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

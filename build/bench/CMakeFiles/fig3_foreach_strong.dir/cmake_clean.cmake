@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_foreach_strong.dir/fig3_foreach_strong.cpp.o"
+  "CMakeFiles/fig3_foreach_strong.dir/fig3_foreach_strong.cpp.o.d"
+  "fig3_foreach_strong"
+  "fig3_foreach_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_foreach_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_find.dir/fig4_find.cpp.o"
+  "CMakeFiles/fig4_find.dir/fig4_find.cpp.o.d"
+  "fig4_find"
+  "fig4_find.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_find.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

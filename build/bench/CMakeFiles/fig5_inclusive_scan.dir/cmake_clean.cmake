@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_inclusive_scan.dir/fig5_inclusive_scan.cpp.o"
+  "CMakeFiles/fig5_inclusive_scan.dir/fig5_inclusive_scan.cpp.o.d"
+  "fig5_inclusive_scan"
+  "fig5_inclusive_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_inclusive_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

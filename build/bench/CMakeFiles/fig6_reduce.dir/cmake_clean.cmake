@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_reduce.dir/fig6_reduce.cpp.o"
+  "CMakeFiles/fig6_reduce.dir/fig6_reduce.cpp.o.d"
+  "fig6_reduce"
+  "fig6_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_gpu_foreach.dir/fig8_gpu_foreach.cpp.o"
+  "CMakeFiles/fig8_gpu_foreach.dir/fig8_gpu_foreach.cpp.o.d"
+  "fig8_gpu_foreach"
+  "fig8_gpu_foreach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_gpu_foreach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_gpu_reduce.dir/fig9_gpu_reduce.cpp.o"
+  "CMakeFiles/fig9_gpu_reduce.dir/fig9_gpu_reduce.cpp.o.d"
+  "fig9_gpu_reduce"
+  "fig9_gpu_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_gpu_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_algorithms.dir/native_algorithms.cpp.o"
+  "CMakeFiles/native_algorithms.dir/native_algorithms.cpp.o.d"
+  "native_algorithms"
+  "native_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_stream.dir/native_stream.cpp.o"
+  "CMakeFiles/native_stream.dir/native_stream.cpp.o.d"
+  "native_stream"
+  "native_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstlb_cli.dir/pstlb_cli.cpp.o"
+  "CMakeFiles/pstlb_cli.dir/pstlb_cli.cpp.o.d"
+  "pstlb_cli"
+  "pstlb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstlb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

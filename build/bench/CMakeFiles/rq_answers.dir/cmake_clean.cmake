@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rq_answers.dir/rq_answers.cpp.o"
+  "CMakeFiles/rq_answers.dir/rq_answers.cpp.o.d"
+  "rq_answers"
+  "rq_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rq_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_foreach_counters.dir/tab3_foreach_counters.cpp.o"
+  "CMakeFiles/tab3_foreach_counters.dir/tab3_foreach_counters.cpp.o.d"
+  "tab3_foreach_counters"
+  "tab3_foreach_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_foreach_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_reduce_counters.dir/tab4_reduce_counters.cpp.o"
+  "CMakeFiles/tab4_reduce_counters.dir/tab4_reduce_counters.cpp.o.d"
+  "tab4_reduce_counters"
+  "tab4_reduce_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_reduce_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab4_reduce_counters.
+# This may be replaced when dependencies are built.

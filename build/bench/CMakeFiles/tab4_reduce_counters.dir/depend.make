@@ -1,0 +1,2 @@
+# Empty dependencies file for tab4_reduce_counters.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_speedup_summary.dir/tab5_speedup_summary.cpp.o"
+  "CMakeFiles/tab5_speedup_summary.dir/tab5_speedup_summary.cpp.o.d"
+  "tab5_speedup_summary"
+  "tab5_speedup_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_speedup_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_efficiency.dir/tab6_efficiency.cpp.o"
+  "CMakeFiles/tab6_efficiency.dir/tab6_efficiency.cpp.o.d"
+  "tab6_efficiency"
+  "tab6_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab6_efficiency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab7_binary_sizes.dir/tab7_binary_sizes.cpp.o"
+  "CMakeFiles/tab7_binary_sizes.dir/tab7_binary_sizes.cpp.o.d"
+  "tab7_binary_sizes"
+  "tab7_binary_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_binary_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab7_binary_sizes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sched_tests[1]_include.cmake")
+include("/root/repo/build/tests/skeleton_tests[1]_include.cmake")
+include("/root/repo/build/tests/algo_foreach_tests[1]_include.cmake")
+include("/root/repo/build/tests/algo_reduce_tests[1]_include.cmake")
+include("/root/repo/build/tests/algo_scan_tests[1]_include.cmake")
+include("/root/repo/build/tests/algo_sort_tests[1]_include.cmake")
+include("/root/repo/build/tests/algo_set_tests[1]_include.cmake")
+include("/root/repo/build/tests/algo_property_tests[1]_include.cmake")
+include("/root/repo/build/tests/algo_detail_tests[1]_include.cmake")
+include("/root/repo/build/tests/stress_tests[1]_include.cmake")
+include("/root/repo/build/tests/value_type_tests[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_tests[1]_include.cmake")
+include("/root/repo/build/tests/contract_tests[1]_include.cmake")
+include("/root/repo/build/tests/infra_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
