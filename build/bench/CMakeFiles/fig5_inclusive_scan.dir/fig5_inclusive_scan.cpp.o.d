@@ -215,4 +215,47 @@ bench/CMakeFiles/fig5_inclusive_scan.dir/fig5_inclusive_scan.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/sim/machine.hpp \
- /root/repo/src/sim/memory_system.hpp /root/repo/src/sim/gpu_engine.hpp
+ /root/repo/src/sim/memory_system.hpp /root/repo/src/sim/gpu_engine.hpp \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/bit /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/pstlb/pstlb.hpp /root/repo/src/pstlb/exec.hpp \
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/backends/backend.hpp \
+ /root/repo/src/sched/loop_context.hpp \
+ /root/repo/src/backends/fork_join.hpp \
+ /root/repo/src/backends/nesting.hpp /root/repo/src/sched/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bits/align.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /root/repo/src/backends/omp_dynamic.hpp \
+ /root/repo/src/backends/seq.hpp /root/repo/src/backends/steal.hpp \
+ /root/repo/src/sched/steal_pool.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
+ /usr/include/c++/12/backward/auto_ptr.h \
+ /usr/include/c++/12/bits/ranges_uninitialized.h \
+ /usr/include/c++/12/bits/uses_allocator_args.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/sched/chase_lev_deque.hpp \
+ /root/repo/src/backends/task_futures.hpp \
+ /root/repo/src/sched/task_queue_pool.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/pstlb/algo_foreach.hpp \
+ /root/repo/src/backends/skeletons.hpp \
+ /root/repo/src/pstlb/algo_reduce.hpp /root/repo/src/pstlb/algo_scan.hpp \
+ /root/repo/src/backends/scan_lookback.hpp \
+ /root/repo/src/pstlb/algo_set.hpp /root/repo/src/pstlb/algo_sort.hpp \
+ /root/repo/src/pstlb/detail/merge.hpp \
+ /root/repo/src/pstlb/detail/multiway.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h

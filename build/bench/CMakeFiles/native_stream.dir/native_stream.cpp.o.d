@@ -247,12 +247,12 @@ bench/CMakeFiles/native_stream.dir/native_stream.cpp.o: \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/pstlb/algo_reduce.hpp /root/repo/src/pstlb/algo_scan.hpp \
- /root/repo/src/pstlb/algo_set.hpp /root/repo/src/pstlb/algo_sort.hpp \
- /root/repo/src/pstlb/detail/merge.hpp \
- /root/repo/src/pstlb/detail/multiway.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/bench_core/wrapper.hpp \
+ /root/repo/src/backends/scan_lookback.hpp \
  /root/repo/src/counters/counters.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/pstlb/algo_set.hpp \
+ /root/repo/src/pstlb/algo_sort.hpp /root/repo/src/pstlb/detail/merge.hpp \
+ /root/repo/src/pstlb/detail/multiway.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/bench_core/wrapper.hpp

@@ -274,12 +274,12 @@ bench/CMakeFiles/pstlb_cli.dir/pstlb_cli.cpp.o: \
  /root/repo/src/numa/page_registry.hpp /root/repo/src/numa/topology.hpp \
  /root/repo/src/pstlb/pstlb.hpp /root/repo/src/pstlb/algo_foreach.hpp \
  /root/repo/src/pstlb/algo_reduce.hpp /root/repo/src/pstlb/algo_scan.hpp \
- /root/repo/src/pstlb/algo_set.hpp /root/repo/src/pstlb/algo_sort.hpp \
- /root/repo/src/pstlb/detail/merge.hpp \
+ /root/repo/src/backends/scan_lookback.hpp \
+ /root/repo/src/counters/counters.hpp /root/repo/src/pstlb/algo_set.hpp \
+ /root/repo/src/pstlb/algo_sort.hpp /root/repo/src/pstlb/detail/merge.hpp \
  /root/repo/src/pstlb/detail/multiway.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/bench_core/report.hpp \
- /root/repo/src/counters/counters.hpp /root/repo/src/sim/run.hpp \
+ /root/repo/src/bench_core/report.hpp /root/repo/src/sim/run.hpp \
  /root/repo/src/sim/backend_profile.hpp \
  /root/repo/src/sim/kernel_model.hpp /root/repo/src/sim/cpu_engine.hpp \
  /root/repo/src/sim/machine.hpp /root/repo/src/sim/memory_system.hpp \

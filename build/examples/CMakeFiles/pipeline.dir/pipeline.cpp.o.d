@@ -249,6 +249,7 @@ examples/CMakeFiles/pipeline.dir/pipeline.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/backends/skeletons.hpp \
  /root/repo/src/pstlb/algo_reduce.hpp /root/repo/src/pstlb/algo_scan.hpp \
+ /root/repo/src/backends/scan_lookback.hpp \
  /root/repo/src/pstlb/algo_set.hpp /root/repo/src/pstlb/algo_sort.hpp \
  /root/repo/src/pstlb/detail/merge.hpp \
  /root/repo/src/pstlb/detail/multiway.hpp /usr/include/c++/12/queue \

@@ -322,6 +322,8 @@ tests/CMakeFiles/algo_foreach_tests.dir/pstlb/algo_foreach_test.cpp.o: \
  /root/repo/src/pstlb/algo_foreach.hpp \
  /root/repo/src/backends/skeletons.hpp \
  /root/repo/src/pstlb/algo_reduce.hpp /root/repo/src/pstlb/algo_scan.hpp \
+ /root/repo/src/backends/scan_lookback.hpp \
+ /root/repo/src/counters/counters.hpp /usr/include/c++/12/chrono \
  /root/repo/src/pstlb/algo_set.hpp /root/repo/src/pstlb/algo_sort.hpp \
  /root/repo/src/pstlb/detail/merge.hpp \
  /root/repo/src/pstlb/detail/multiway.hpp /usr/include/c++/12/queue \

@@ -298,11 +298,13 @@ tests/CMakeFiles/algo_scan_tests.dir/pstlb/algo_scan_test.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/counters/counters.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/pstlb/pstlb.hpp /root/repo/src/pstlb/common.hpp \
  /root/repo/src/pstlb/exec.hpp /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -312,7 +314,6 @@ tests/CMakeFiles/algo_scan_tests.dir/pstlb/algo_scan_test.cpp.o: \
  /root/repo/src/backends/fork_join.hpp \
  /root/repo/src/backends/nesting.hpp /root/repo/src/sched/thread_pool.hpp \
  /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
  /root/repo/src/backends/omp_dynamic.hpp /root/repo/src/backends/seq.hpp \
  /root/repo/src/backends/steal.hpp /root/repo/src/sched/steal_pool.hpp \
  /root/repo/src/sched/chase_lev_deque.hpp \
@@ -322,6 +323,7 @@ tests/CMakeFiles/algo_scan_tests.dir/pstlb/algo_scan_test.cpp.o: \
  /root/repo/src/pstlb/algo_foreach.hpp \
  /root/repo/src/backends/skeletons.hpp \
  /root/repo/src/pstlb/algo_reduce.hpp /root/repo/src/pstlb/algo_scan.hpp \
+ /root/repo/src/backends/scan_lookback.hpp \
  /root/repo/src/pstlb/algo_set.hpp /root/repo/src/pstlb/algo_sort.hpp \
  /root/repo/src/pstlb/detail/merge.hpp \
  /root/repo/src/pstlb/detail/multiway.hpp /usr/include/c++/12/queue \

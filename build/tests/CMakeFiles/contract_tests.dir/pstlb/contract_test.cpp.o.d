@@ -323,12 +323,13 @@ tests/CMakeFiles/contract_tests.dir/pstlb/contract_test.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/backends/skeletons.hpp \
  /root/repo/src/pstlb/algo_reduce.hpp /root/repo/src/pstlb/algo_scan.hpp \
+ /root/repo/src/backends/scan_lookback.hpp \
+ /root/repo/src/counters/counters.hpp /usr/include/c++/12/chrono \
  /root/repo/src/pstlb/algo_set.hpp /root/repo/src/pstlb/algo_sort.hpp \
  /root/repo/src/pstlb/detail/merge.hpp \
  /root/repo/src/pstlb/detail/multiway.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/run.hpp \
  /root/repo/src/sim/backend_profile.hpp \
  /root/repo/src/sim/kernel_model.hpp /root/repo/src/sim/cpu_engine.hpp \
- /root/repo/src/counters/counters.hpp /usr/include/c++/12/chrono \
  /root/repo/src/numa/page_registry.hpp /root/repo/src/sim/machine.hpp \
  /root/repo/src/sim/memory_system.hpp /root/repo/src/sim/gpu_engine.hpp

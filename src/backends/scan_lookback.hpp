@@ -1,0 +1,243 @@
+// Single-pass chained scan with decoupled lookback (Merrill & Garland's
+// "Single-pass Parallel Prefix Scan with Decoupled Look-back", adapted from
+// GPU tiles to CPU cache-resident chunks).
+//
+// The two-pass skeletons in skeletons.hpp launch the pool twice and stream
+// the input from DRAM twice; on a memory-bound operation like plus<double>
+// that is the dominant cost (the paper's Fig. 5 scan gap). Here each worker:
+//
+//   1. claims the next chunk from a monotonic atomic ticket,
+//   2. if the predecessor chunk has already published its inclusive PREFIX,
+//      takes the fused fast path: one combined scan over the chunk produces
+//      both the output and this chunk's prefix — each element is touched
+//      exactly once (this is the path a chain of in-order chunks
+//      degenerates to, the way TBB's parallel_scan collapses to one pass),
+//   3. otherwise runs the decoupled protocol: compute the chunk-local
+//      aggregate (one streaming read; the chunk is sized to stay
+//      cache-resident), publish it in a cache-line-padded status descriptor
+//      (EMPTY -> AGGREGATE), resolve the exclusive prefix by looking back
+//      over predecessor descriptors — summing AGGREGATEs right-to-left
+//      until a PREFIX is met, spinning briefly then yielding on EMPTY —
+//      publish its own PREFIX (unblocking successors before any output is
+//      written), then produce the chunk's output seeded with the carry; the
+//      second read of the chunk comes from cache, so DRAM still sees each
+//      input element once.
+//
+// Progress: tickets are claimed monotonically, so every descriptor a
+// lookback can block on is owned by a worker that is actively between
+// "claim" and "publish aggregate" — a bounded, non-blocking region. Chunk 0
+// publishes PREFIX directly, so a lookback always terminates. A worker that
+// drains the ticket when all chunks are claimed simply exits, which makes
+// the skeleton safe on any of the five parallel backends via
+// for_blocks(workers, 1, ...) — extra body invocations find the ticket
+// exhausted and return.
+//
+// Ordering: the lookback accumulates a *suffix* of aggregates right-to-left
+// (suffix = A(i) . suffix), so combine is only ever applied in sequence
+// order — non-commutative associative operations (string concatenation,
+// matrix composition) are safe.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "backends/skeletons.hpp"
+
+namespace pstlb::backends {
+
+namespace detail {
+
+enum : unsigned {
+  chunk_empty = 0,      // claimed (or not yet claimed); nothing published
+  chunk_aggregate = 1,  // chunk-local aggregate available
+  chunk_prefix = 2,     // inclusive prefix of everything through this chunk
+};
+
+/// One descriptor per chunk, padded so the publishing store and the
+/// lookback loads of neighbouring chunks never share a cache line.
+template <class T>
+struct alignas(cache_line_size) chunk_descriptor {
+  std::atomic<unsigned> flag{chunk_empty};
+  T aggregate{};  // valid once flag >= chunk_aggregate
+  T prefix{};     // valid once flag == chunk_prefix
+};
+
+/// Resolves the exclusive prefix of chunk `c` by walking descriptors
+/// right-to-left from c-1, accumulating aggregates until a PREFIX is found.
+/// Spin-then-yield on EMPTY (same 64-spin discipline as the pools), because
+/// the owner is mid-aggregate on another thread — or preempted, in which
+/// case the yield is what lets it run on an oversubscribed host.
+template <class T, class Combine>
+T lookback_carry(std::vector<chunk_descriptor<T>>& chunks, index_t c,
+                 Combine& combine) {
+  std::optional<T> suffix;  // A(i+1) . A(i+2) ... A(c-1)
+  index_t i = c - 1;
+  int spins = 0;
+  for (;;) {
+    const unsigned flag = chunks[static_cast<std::size_t>(i)].flag.load(
+        std::memory_order_acquire);
+    if (flag == chunk_prefix) {
+      T head = chunks[static_cast<std::size_t>(i)].prefix;
+      return suffix.has_value() ? combine(std::move(head), std::move(*suffix))
+                                : std::move(head);
+    }
+    if (flag == chunk_aggregate) {
+      T agg = chunks[static_cast<std::size_t>(i)].aggregate;
+      suffix.emplace(suffix.has_value()
+                         ? combine(std::move(agg), std::move(*suffix))
+                         : std::move(agg));
+      --i;  // chunk 0 only ever publishes PREFIX, so i stays >= 0
+      spins = 0;
+      continue;
+    }
+    if (++spins >= 64) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Chunk size for the lookback skeletons: ~64 chunks per participant for
+/// balance, floored at the configurable min chunk (PSTLB_SCAN_CHUNK) so
+/// descriptor traffic stays negligible, and capped at 2^15 elements so the
+/// in-chunk re-read stays cache-resident (2^15 * 8 B = 256 KiB <= L2).
+inline index_t lookback_chunk_size(index_t n, unsigned threads,
+                                   index_t min_chunk = default_scan_min_chunk()) {
+  const index_t target_chunks = static_cast<index_t>(threads) * 64;
+  index_t chunk = ceil_div(n, target_chunks > 0 ? target_chunks : 1);
+  if (chunk < min_chunk) { chunk = min_chunk; }
+  constexpr index_t max_chunk = index_t{1} << 15;
+  if (chunk > max_chunk) { chunk = max_chunk; }
+  return chunk < 1 ? 1 : chunk;
+}
+
+/// Single-pass scan with decoupled lookback. Callback contract extends the
+/// two-pass parallel_scan with a fused block for the fast path:
+///   reduce_block(b, e) -> T               : aggregate of a chunk
+///   scan_block(b, e, carry, has_carry)    : produce output, seeded
+///   fused_block(b, e, carry, has_carry) -> T
+///       : produce output AND return the chained inclusive prefix through
+///         this chunk — combine(carry, aggregate) when has_carry, plain
+///         aggregate otherwise. Any init the front-end folds into outputs
+///         must NOT leak into the returned value (it would compound across
+///         chunks).
+///   combine(T, T) -> T                    : the scan operation
+/// T must be movable, copyable and default-constructible (descriptor
+/// storage). `min_chunk` overrides the chunk floor (tests use tiny chunks
+/// to force deep lookbacks); 0 means the configured default.
+/// `final_prefix`, when non-null, receives the inclusive prefix of the whole
+/// range (the pack skeleton's total).
+template <Backend B, class T, class Combine, class ReduceBlock, class ScanBlock,
+          class FusedBlock>
+  requires std::invocable<FusedBlock&, index_t, index_t, T, bool>
+void parallel_scan_1p(const B& be, index_t n, Combine&& combine,
+                      ReduceBlock&& reduce_block, ScanBlock&& scan_block,
+                      FusedBlock&& fused_block, index_t min_chunk = 0,
+                      T* final_prefix = nullptr) {
+  if (n <= 0) { return; }
+  const index_t chunk = lookback_chunk_size(
+      n, be.threads(), min_chunk > 0 ? min_chunk : default_scan_min_chunk());
+  const index_t count = ceil_div(n, chunk);
+  if (count <= 1 || be.threads() == 1) {
+    T total = fused_block(index_t{0}, n, T{}, false);
+    if (final_prefix != nullptr) { *final_prefix = std::move(total); }
+    return;
+  }
+  std::vector<detail::chunk_descriptor<T>> chunks(
+      static_cast<std::size_t>(count));
+  alignas(cache_line_size) std::atomic<index_t> ticket{0};
+  const index_t workers = static_cast<index_t>(be.threads());
+  be.for_blocks(workers, 1, nullptr, [&](index_t, index_t, unsigned) {
+    for (;;) {
+      const index_t c = ticket.fetch_add(1, std::memory_order_relaxed);
+      if (c >= count) { return; }
+      const index_t b = c * chunk;
+      const index_t e = b + chunk < n ? b + chunk : n;
+      auto& desc = chunks[static_cast<std::size_t>(c)];
+      if (c == 0) {
+        desc.prefix = fused_block(b, e, T{}, false);
+        desc.flag.store(detail::chunk_prefix, std::memory_order_release);
+        continue;
+      }
+      auto& pred = chunks[static_cast<std::size_t>(c - 1)];
+      if (pred.flag.load(std::memory_order_acquire) == detail::chunk_prefix) {
+        // Fast path: the chain is already resolved up to our chunk — one
+        // fused pass reads each element exactly once. PREFIX is immutable
+        // once published, so the copy is race-free.
+        desc.prefix = fused_block(b, e, T{pred.prefix}, true);
+        desc.flag.store(detail::chunk_prefix, std::memory_order_release);
+        continue;
+      }
+      // Decoupled protocol: publish the aggregate, look back for the carry,
+      // publish our prefix (successors unblock before we write output),
+      // then rescan the — still cache-resident — chunk with the carry.
+      T agg = reduce_block(b, e);
+      desc.aggregate = agg;
+      desc.flag.store(detail::chunk_aggregate, std::memory_order_release);
+      T carry = detail::lookback_carry(chunks, c, combine);
+      T carry_copy = carry;  // carry seeds both our prefix and the rescan
+      desc.prefix = combine(std::move(carry_copy), std::move(agg));
+      desc.flag.store(detail::chunk_prefix, std::memory_order_release);
+      scan_block(b, e, std::move(carry), true);
+    }
+  });
+  if (final_prefix != nullptr) {
+    *final_prefix = std::move(chunks.back().prefix);
+  }
+}
+
+/// Convenience overload without a fused block: the fast path is emulated
+/// with reduce_block + scan_block (still a single pool launch and a single
+/// DRAM pass — the second chunk read hits cache — but each element is
+/// touched twice). Front-ends that can produce a fused block cheaply should
+/// pass one.
+template <Backend B, class T, class Combine, class ReduceBlock, class ScanBlock>
+void parallel_scan_1p(const B& be, index_t n, Combine&& combine,
+                      ReduceBlock&& reduce_block, ScanBlock&& scan_block,
+                      index_t min_chunk = 0) {
+  auto fused = [&](index_t b, index_t e, T carry, bool has_carry) {
+    T agg = reduce_block(b, e);
+    T prefix = has_carry ? combine(T{carry}, std::move(agg)) : std::move(agg);
+    scan_block(b, e, std::move(carry), has_carry);
+    return prefix;
+  };
+  parallel_scan_1p<B, T>(be, n, std::forward<Combine>(combine),
+                         std::forward<ReduceBlock>(reduce_block),
+                         std::forward<ScanBlock>(scan_block), fused, min_chunk);
+}
+
+/// Single-pass pack with decoupled lookback: counts are chained through the
+/// descriptor protocol instead of a separate prefix pass, and a chunk whose
+/// predecessor is resolved emits directly — evaluating the predicate once
+/// per element. Unlike the two-pass parallel_pack, emit_block does NOT
+/// receive the overall total — it is unknowable until the last chunk
+/// resolves — so pack users whose emit placement depends on the total
+/// (stable_partition) must stay two-pass.
+///   count_block(b, e) -> index_t
+///   emit_block(b, e, offset) -> index_t   (the number of elements emitted)
+/// Returns the total packed count.
+template <Backend B, class CountBlock, class EmitBlock>
+index_t parallel_pack_1p(const B& be, index_t n, CountBlock&& count_block,
+                         EmitBlock&& emit_block, index_t min_chunk = 0) {
+  if (n <= 0) { return 0; }
+  index_t total = 0;
+  parallel_scan_1p<B, index_t>(
+      be, n, [](index_t a, index_t b) { return a + b; },
+      [&](index_t b, index_t e) { return count_block(b, e); },
+      [&](index_t b, index_t e, index_t carry, bool has_carry) {
+        emit_block(b, e, has_carry ? carry : 0);
+      },
+      [&](index_t b, index_t e, index_t carry, bool has_carry) {
+        const index_t offset = has_carry ? carry : 0;
+        return offset + emit_block(b, e, offset);
+      },
+      min_chunk, &total);
+  return total;
+}
+
+}  // namespace pstlb::backends

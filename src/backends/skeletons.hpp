@@ -85,6 +85,21 @@ index_t parallel_find(const B& be, index_t n, index_t grain, BlockFind&& block) 
   return best.load(std::memory_order_acquire);
 }
 
+/// Scan-chunking knobs. Defaults: chunks of at least 2048 elements (small
+/// enough that a same-chunk re-read stays cache-resident for the paper's
+/// 8-byte elements, large enough to amortize per-chunk bookkeeping) and a 4x
+/// oversubscription factor (slots * 4 chunks, so dynamic backends can
+/// balance without drowning in chunk boundaries). Both are overridable via
+/// environment for ablation runs: PSTLB_SCAN_CHUNK sets the minimum chunk
+/// element count, PSTLB_SCAN_OVERSUB the chunks-per-slot factor.
+inline index_t default_scan_min_chunk() {
+  return static_cast<index_t>(env_unsigned("PSTLB_SCAN_CHUNK", 2048));
+}
+
+inline index_t default_scan_oversub() {
+  return static_cast<index_t>(env_unsigned("PSTLB_SCAN_OVERSUB", 4));
+}
+
 /// Chunk table used by the two-pass skeletons: fixed boundaries so both
 /// passes see identical chunks regardless of scheduling.
 struct chunk_table {
@@ -92,9 +107,10 @@ struct chunk_table {
   index_t chunk = 1;
   index_t count = 0;
 
-  chunk_table(index_t total, unsigned slots, index_t min_chunk = 2048) {
+  chunk_table(index_t total, unsigned slots, index_t min_chunk = default_scan_min_chunk(),
+              index_t oversub = default_scan_oversub()) {
     n = total;
-    const index_t wanted = static_cast<index_t>(slots) * 4;
+    const index_t wanted = static_cast<index_t>(slots) * (oversub < 1 ? 1 : oversub);
     const index_t feasible = ceil_div(total, min_chunk < 1 ? 1 : min_chunk);
     count = wanted < feasible ? wanted : feasible;
     if (count < 1) { count = 1; }
@@ -131,19 +147,24 @@ void parallel_scan(const B& be, index_t n, Combine&& combine,
       sums[static_cast<std::size_t>(c)] = reduce_block(b, e);
     }
   });
-  // Sequential exclusive prefix over chunk sums (cheap: O(slots)).
+  // Sequential exclusive prefix over chunk sums (cheap: O(slots)). Each
+  // sums[c] is consumed exactly once, so it is moved into the combine; the
+  // only copy left is carry[c] = running, which genuinely needs the value in
+  // two places.
   std::vector<T> carry(sums.size());
-  T running = sums[0];
+  T running = std::move(sums[0]);
   for (std::size_t c = 1; c < sums.size(); ++c) {
     carry[c] = running;
-    running = combine(std::move(running), sums[c]);
+    running = combine(std::move(running), std::move(sums[c]));
   }
   be.for_blocks(chunks.count, 1, nullptr, [&](index_t cb, index_t ce, unsigned) {
     for (index_t c = cb; c < ce; ++c) {
       index_t b = 0;
       index_t e = 0;
       chunks.bounds(c, b, e);
-      scan_block(b, e, c == 0 ? T{} : carry[static_cast<std::size_t>(c)], c != 0);
+      // Each carry is consumed by exactly one chunk's rescan — move it.
+      scan_block(b, e, c == 0 ? T{} : std::move(carry[static_cast<std::size_t>(c)]),
+                 c != 0);
     }
   });
 }

@@ -11,12 +11,30 @@
 #include <utility>
 #include <vector>
 
+#include "backends/scan_lookback.hpp"
 #include "backends/skeletons.hpp"
+#include "counters/counters.hpp"
 #include "pstlb/exec.hpp"
 
 namespace pstlb {
 
 namespace detail {
+
+/// Software traffic accounting for scan/pack regions (no-op outside an
+/// active counters::region). `input_passes` is the number of times the
+/// algorithm streams the input from DRAM: 2 for the two-pass skeletons, 1
+/// for the sequential path and the lookback skeleton (whose second chunk
+/// read is cache-resident by construction — see lookback_chunk_size).
+inline void report_scan_traffic(index_t n_read, index_t n_written,
+                                std::size_t in_bytes, std::size_t out_bytes,
+                                double input_passes) {
+  counters::counter_set work;
+  work.bytes_read =
+      static_cast<double>(n_read) * static_cast<double>(in_bytes) * input_passes;
+  work.bytes_written =
+      static_cast<double>(n_written) * static_cast<double>(out_bytes);
+  counters::report_work(work);
+}
 
 /// Shared implementation for all eight scan front-ends.
 /// `init` is folded in front of the sequence when present. `inclusive`
@@ -27,6 +45,9 @@ Out scan_impl(P&& policy, It first, It last, Out out, std::optional<T> init, Op 
   const index_t n = std::distance(first, last);
   if (n == 0) { return out; }
 
+  // Returns the running prefix after the block — for an inclusive scan with
+  // no init that is exactly combine(seed, block aggregate), which the fused
+  // lookback path reuses as the chained prefix at zero extra cost.
   auto scan_block = [&](index_t b, index_t e, std::optional<T> prefix) {
     for (index_t i = b; i < e; ++i) {
       T value = unary(first[i]);
@@ -40,33 +61,85 @@ Out scan_impl(P&& policy, It first, It last, Out out, std::optional<T> init, Op 
         prefix.emplace(op(std::move(*prefix), std::move(value)));
       }
     }
+    return prefix;
   };
 
+  using in_t = typename std::iterator_traits<It>::value_type;
   return exec::dispatch<It, Out>(
       policy, n,
       [&] {
         scan_block(0, n, init);
+        report_scan_traffic(n, n, sizeof(in_t), sizeof(T), 1.0);
         return out + n;
       },
       [&](auto be, index_t grain) {
         (void)grain;  // scans use fixed chunk tables, not the loop grain
-        backends::parallel_scan<decltype(be), T>(
-            be, n, op,
-            [&](index_t b, index_t e) {
-              T acc = unary(first[b]);
-              for (index_t i = b + 1; i < e; ++i) {
-                acc = op(std::move(acc), unary(first[i]));
-              }
-              return acc;
-            },
-            [&](index_t b, index_t e, T carry, bool has_carry) {
-              std::optional<T> prefix = init;
-              if (has_carry) {
-                prefix = prefix.has_value() ? op(std::move(*prefix), std::move(carry))
-                                            : std::move(carry);
-              }
-              scan_block(b, e, std::move(prefix));
-            });
+        auto reduce_block = [&](index_t b, index_t e) {
+          T acc = unary(first[b]);
+          for (index_t i = b + 1; i < e; ++i) {
+            acc = op(std::move(acc), unary(first[i]));
+          }
+          return acc;
+        };
+        auto scan_chunk = [&](index_t b, index_t e, T carry, bool has_carry) {
+          std::optional<T> prefix = init;
+          if (has_carry) {
+            prefix = prefix.has_value() ? op(std::move(*prefix), std::move(carry))
+                                        : std::move(carry);
+          }
+          scan_block(b, e, std::move(prefix));
+        };
+        // Fused block for the lookback fast path: output the chunk AND return
+        // its chained inclusive prefix (combine(carry, aggregate), with any
+        // user init excluded — init is folded into outputs only).
+        auto fused_chunk = [&](index_t b, index_t e, T carry, bool has_carry) -> T {
+          if constexpr (Inclusive) {
+            if (!init.has_value()) {
+              // Hot path (plain inclusive scan): the final running value IS
+              // the chained prefix — one combine and one read per element.
+              std::optional<T> prefix;
+              if (has_carry) { prefix.emplace(std::move(carry)); }
+              return *scan_block(b, e, std::move(prefix));
+            }
+          }
+          // Init present (or exclusive): outputs fold `init` in, which must
+          // not leak into the chained prefix — track the raw total alongside.
+          std::optional<T> raw;
+          if (has_carry) { raw.emplace(carry); }
+          std::optional<T> prefix = init;
+          if (has_carry) {
+            prefix = prefix.has_value() ? op(std::move(*prefix), std::move(carry))
+                                        : std::move(carry);
+          }
+          for (index_t i = b; i < e; ++i) {
+            T value = unary(first[i]);
+            if (raw.has_value()) {
+              raw.emplace(op(std::move(*raw), T{value}));
+            } else {
+              raw.emplace(T{value});
+            }
+            if constexpr (Inclusive) {
+              T current = prefix.has_value()
+                              ? op(std::move(*prefix), std::move(value))
+                              : std::move(value);
+              out[i] = current;
+              prefix.emplace(std::move(current));
+            } else {
+              out[i] = *prefix;
+              prefix.emplace(op(std::move(*prefix), std::move(value)));
+            }
+          }
+          return std::move(*raw);
+        };
+        if (exec::use_lookback_scan(policy, n)) {
+          backends::parallel_scan_1p<decltype(be), T>(be, n, op, reduce_block,
+                                                      scan_chunk, fused_chunk);
+          report_scan_traffic(n, n, sizeof(in_t), sizeof(T), 1.0);
+        } else {
+          backends::parallel_scan<decltype(be), T>(be, n, op, reduce_block,
+                                                   scan_chunk);
+          report_scan_traffic(n, n, sizeof(in_t), sizeof(T), 2.0);
+        }
         return out + n;
       });
 }
@@ -145,19 +218,31 @@ Out transform_exclusive_scan(P&& policy, It first, It last, Out out, T init, Op 
 
 template <exec::ExecutionPolicy P, class It, class Out, class Pred>
 Out copy_if(P&& policy, It first, It last, Out out, Pred pred) {
+  using in_t = typename std::iterator_traits<It>::value_type;
   const index_t n = std::distance(first, last);
   return exec::dispatch<It, Out>(
       policy, n, [&] { return std::copy_if(first, last, out, pred); },
       [&](auto be, index_t grain) {
         (void)grain;
-        const index_t total = backends::parallel_pack(
-            be, n,
-            [&](index_t b, index_t e) {
-              return static_cast<index_t>(std::count_if(first + b, first + e, pred));
-            },
-            [&](index_t b, index_t e, index_t offset, index_t) {
-              std::copy_if(first + b, first + e, out + offset, pred);
-            });
+        auto count_block = [&](index_t b, index_t e) {
+          return static_cast<index_t>(std::count_if(first + b, first + e, pred));
+        };
+        auto emit_block = [&](index_t b, index_t e, index_t offset) {
+          auto end = std::copy_if(first + b, first + e, out + offset, pred);
+          return static_cast<index_t>(end - (out + offset));
+        };
+        index_t total;
+        if (exec::use_lookback_scan(policy, n)) {
+          total = backends::parallel_pack_1p(be, n, count_block, emit_block);
+          detail::report_scan_traffic(n, total, sizeof(in_t), sizeof(in_t), 1.0);
+        } else {
+          total = backends::parallel_pack(
+              be, n, count_block,
+              [&](index_t b, index_t e, index_t offset, index_t) {
+                emit_block(b, e, offset);
+              });
+          detail::report_scan_traffic(n, total, sizeof(in_t), sizeof(in_t), 2.0);
+        }
         return out + total;
       });
 }
@@ -185,22 +270,31 @@ std::pair<Out1, Out2> partition_copy(P&& policy, It1 first, It1 last, Out1 out_t
         (void)grain;
         // The pack offset counts matching elements before the chunk; the
         // non-matching offset is derivable as (chunk begin - matching count).
-        const index_t total_true = backends::parallel_pack(
-            be, n,
-            [&](index_t b, index_t e) {
-              return static_cast<index_t>(std::count_if(first + b, first + e, pred));
-            },
-            [&](index_t b, index_t e, index_t true_offset, index_t) {
-              index_t t = true_offset;
-              index_t f = b - true_offset;
-              for (index_t i = b; i < e; ++i) {
-                if (pred(first[i])) {
-                  out_true[t++] = first[i];
-                } else {
-                  out_false[f++] = first[i];
-                }
-              }
-            });
+        auto count_block = [&](index_t b, index_t e) {
+          return static_cast<index_t>(std::count_if(first + b, first + e, pred));
+        };
+        auto emit_block = [&](index_t b, index_t e, index_t true_offset) {
+          index_t t = true_offset;
+          index_t f = b - true_offset;
+          for (index_t i = b; i < e; ++i) {
+            if (pred(first[i])) {
+              out_true[t++] = first[i];
+            } else {
+              out_false[f++] = first[i];
+            }
+          }
+          return t - true_offset;
+        };
+        index_t total_true;
+        if (exec::use_lookback_scan(policy, n)) {
+          total_true = backends::parallel_pack_1p(be, n, count_block, emit_block);
+        } else {
+          total_true = backends::parallel_pack(
+              be, n, count_block,
+              [&](index_t b, index_t e, index_t true_offset, index_t) {
+                emit_block(b, e, true_offset);
+              });
+        }
         return std::pair<Out1, Out2>{out_true + total_true,
                                      out_false + (n - total_true)};
       });
@@ -218,18 +312,28 @@ Out unique_copy(P&& policy, It first, It last, Out out, Pred pred) {
       policy, n, [&] { return std::unique_copy(first, last, out, pred); },
       [&](auto be, index_t grain) {
         (void)grain;
-        const index_t total = backends::parallel_pack(
-            be, n,
-            [&](index_t b, index_t e) {
-              index_t kept = 0;
-              for (index_t i = b; i < e; ++i) { kept += keep(i) ? 1 : 0; }
-              return kept;
-            },
-            [&](index_t b, index_t e, index_t offset, index_t) {
-              for (index_t i = b; i < e; ++i) {
-                if (keep(i)) { out[offset++] = first[i]; }
-              }
-            });
+        auto count_block = [&](index_t b, index_t e) {
+          index_t kept = 0;
+          for (index_t i = b; i < e; ++i) { kept += keep(i) ? 1 : 0; }
+          return kept;
+        };
+        auto emit_block = [&](index_t b, index_t e, index_t offset) {
+          const index_t start = offset;
+          for (index_t i = b; i < e; ++i) {
+            if (keep(i)) { out[offset++] = first[i]; }
+          }
+          return offset - start;
+        };
+        index_t total;
+        if (exec::use_lookback_scan(policy, n)) {
+          total = backends::parallel_pack_1p(be, n, count_block, emit_block);
+        } else {
+          total = backends::parallel_pack(
+              be, n, count_block,
+              [&](index_t b, index_t e, index_t offset, index_t) {
+                emit_block(b, e, offset);
+              });
+        }
         return out + total;
       });
 }

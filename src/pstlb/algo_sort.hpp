@@ -239,6 +239,10 @@ It stable_partition(P&& policy, It first, It last, Pred pred) {
       [&](auto be, index_t grain) {
         (void)grain;
         std::vector<T> buffer(static_cast<std::size_t>(n));
+        // Stays on the two-pass pack regardless of the policy's scan
+        // skeleton: the false partition starts at total_true, so every
+        // chunk's emit placement depends on the overall count — which the
+        // single-pass lookback pack only knows once its last chunk resolves.
         const index_t count_true = backends::parallel_pack(
             be, n,
             [&](index_t b, index_t e) {

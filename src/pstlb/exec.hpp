@@ -42,6 +42,19 @@ inline unsigned default_threads() {
 
 struct seq_policy {};
 
+/// Which scan/pack skeleton a parallel policy uses (see DESIGN.md "Scan
+/// skeletons: two-pass vs decoupled lookback").
+enum class scan_skeleton {
+  /// Chunked reduce pass + serial prefix + rescan pass: two pool launches,
+  /// input streamed from DRAM twice. The conservative baseline every
+  /// backend supports.
+  two_pass,
+  /// Single-pass chained scan with decoupled lookback: one pool launch,
+  /// input streamed from DRAM once. Order-preserving, so safe for
+  /// non-commutative associative operations too.
+  single_pass,
+};
+
 namespace detail {
 struct parallel_policy_base {
   /// Participants for parallel loops.
@@ -54,8 +67,24 @@ struct parallel_policy_base {
   /// Sort strategy: one R-way merge pass (GNU parallel mode's multiway
   /// mergesort — Section 5.6) instead of log2(R) binary merge rounds.
   bool multiway_sort = false;
+  /// Scan/pack skeleton selection. Defaults to the single-pass lookback
+  /// skeleton; profiles that model backends without a chained scan
+  /// (NVC-OMP) pin this to two_pass in their constructor.
+  scan_skeleton scan = scan_skeleton::single_pass;
 };
 }  // namespace detail
+
+/// Inputs below this stay on the two-pass skeleton even when the policy
+/// requests lookback: with so few chunks the descriptor protocol is pure
+/// overhead and the two-pass serial prefix is already a handful of combines.
+inline constexpr index_t lookback_min_elements = index_t{1} << 12;
+
+/// True when `policy` wants the single-pass lookback skeleton for an input
+/// of `n` elements. Funnel for scan- and pack-family front-ends.
+template <class P>
+bool use_lookback_scan(const P& policy, index_t n) {
+  return policy.scan == scan_skeleton::single_pass && n >= lookback_min_elements;
+}
 
 struct fork_join_policy : detail::parallel_policy_base {
   fork_join_policy() {
@@ -67,8 +96,14 @@ struct fork_join_policy : detail::parallel_policy_base {
 
 /// NVC-OMP-like: same fork-join engine, but parallelizes everything.
 struct omp_static_policy : detail::parallel_policy_base {
-  omp_static_policy() = default;
-  explicit omp_static_policy(unsigned t) { threads = t; }
+  omp_static_policy() {
+    // Section 5.4: NVC-OMP's inclusive_scan substitutes sequential code —
+    // it has no chained-scan machinery to model, so this profile keeps the
+    // conservative two-pass skeleton (and the sim models the sequential
+    // substitution itself).
+    scan = scan_skeleton::two_pass;
+  }
+  explicit omp_static_policy(unsigned t) : omp_static_policy() { threads = t; }
 };
 
 /// Extension beyond the paper's set: dynamically-claimed chunks over the

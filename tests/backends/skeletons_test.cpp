@@ -1,17 +1,24 @@
 // Skeleton tests over every backend type: parallel_for coverage,
 // parallel_reduce correctness, parallel_find first-match semantics,
-// parallel_scan prefix identity, parallel_pack stability.
+// parallel_scan prefix identity, parallel_pack stability, and the
+// single-pass decoupled-lookback scan/pack (correctness, non-commutative
+// operators, adversarial chunk-completion order).
 #include "backends/skeletons.hpp"
 
 #include <gtest/gtest.h>
 
 #include <array>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "backends/fork_join.hpp"
+#include "backends/omp_dynamic.hpp"
+#include "backends/scan_lookback.hpp"
 #include "backends/seq.hpp"
 #include "backends/steal.hpp"
 #include "backends/task_futures.hpp"
@@ -31,8 +38,8 @@ seq_backend SkeletonTest<seq_backend>::make() {
 }
 
 using BackendTypes =
-    ::testing::Types<seq_backend, fork_join_backend, steal_backend,
-                     task_futures_backend>;
+    ::testing::Types<seq_backend, fork_join_backend, omp_dynamic_backend,
+                     steal_backend, task_futures_backend>;
 TYPED_TEST_SUITE(SkeletonTest, BackendTypes);
 
 TYPED_TEST(SkeletonTest, ForCoversRangeOnce) {
@@ -177,6 +184,212 @@ TYPED_TEST(SkeletonTest, PackKeepsOrderAndCount) {
   for (index_t i = 0; i < total; ++i) {
     ASSERT_EQ(output[static_cast<std::size_t>(i)], static_cast<int>(i * 3));
   }
+}
+
+TYPED_TEST(SkeletonTest, Scan1pMatchesSequentialPrefix) {
+  auto backend = this->make();
+  // Tiny min_chunk forces many chunks so the lookback protocol actually
+  // chains (with the default 2048 floor most test sizes collapse to the
+  // sequential fallback).
+  for (index_t n : {index_t{1}, index_t{63}, index_t{4096}, index_t{100000}}) {
+    std::vector<long long> input(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) { input[static_cast<std::size_t>(i)] = i % 97 + 1; }
+    std::vector<long long> output(static_cast<std::size_t>(n));
+    parallel_scan_1p<TypeParam, long long>(
+        backend, n, std::plus<>{},
+        [&](index_t b, index_t e) {
+          long long acc = 0;
+          for (index_t i = b; i < e; ++i) { acc += input[static_cast<std::size_t>(i)]; }
+          return acc;
+        },
+        [&](index_t b, index_t e, long long carry, bool has_carry) {
+          long long run = has_carry ? carry : 0;
+          for (index_t i = b; i < e; ++i) {
+            run += input[static_cast<std::size_t>(i)];
+            output[static_cast<std::size_t>(i)] = run;
+          }
+        },
+        /*min_chunk=*/64);
+    long long expected = 0;
+    for (index_t i = 0; i < n; ++i) {
+      expected += input[static_cast<std::size_t>(i)];
+      ASSERT_EQ(output[static_cast<std::size_t>(i)], expected) << n << ":" << i;
+    }
+  }
+}
+
+TYPED_TEST(SkeletonTest, Scan1pNonCommutativeStringConcat) {
+  // String concatenation is associative but not commutative: any combine
+  // applied out of sequence order produces a detectably wrong prefix. The
+  // lookback accumulates aggregates right-to-left, which must preserve it.
+  auto backend = this->make();
+  const index_t n = 512;
+  auto letter = [](index_t i) { return static_cast<char>('a' + i % 26); };
+  std::vector<std::string> output(static_cast<std::size_t>(n));
+  parallel_scan_1p<TypeParam, std::string>(
+      backend, n, [](std::string a, std::string b) { return std::move(a) + b; },
+      [&](index_t b, index_t e) {
+        std::string s;
+        for (index_t i = b; i < e; ++i) { s.push_back(letter(i)); }
+        return s;
+      },
+      [&](index_t b, index_t e, std::string carry, bool has_carry) {
+        std::string run = has_carry ? std::move(carry) : std::string{};
+        for (index_t i = b; i < e; ++i) {
+          run.push_back(letter(i));
+          output[static_cast<std::size_t>(i)] = run;
+        }
+      },
+      /*min_chunk=*/32);
+  std::string expected;
+  for (index_t i = 0; i < n; ++i) {
+    expected.push_back(letter(i));
+    ASSERT_EQ(output[static_cast<std::size_t>(i)], expected) << i;
+  }
+}
+
+TYPED_TEST(SkeletonTest, Scan1pAdversarialCompletionOrder) {
+  // Stall selected chunks inside reduce_block so successors publish their
+  // aggregates first and lookbacks must chain across long AGGREGATE runs
+  // and spin on EMPTY descriptors. Chunk 0 is the slowest, which delays the
+  // only PREFIX the chain can terminate on.
+  auto backend = this->make();
+  const index_t chunk = 64;
+  const index_t n = chunk * 48;
+  std::vector<long long> input(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) { input[static_cast<std::size_t>(i)] = (i * 7) % 31; }
+  std::vector<long long> output(static_cast<std::size_t>(n), -1);
+  parallel_scan_1p<TypeParam, long long>(
+      backend, n, std::plus<>{},
+      [&](index_t b, index_t e) {
+        const index_t c = b / chunk;
+        if (c == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        } else if (c % 5 == 1) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        long long acc = 0;
+        for (index_t i = b; i < e; ++i) { acc += input[static_cast<std::size_t>(i)]; }
+        return acc;
+      },
+      [&](index_t b, index_t e, long long carry, bool has_carry) {
+        long long run = has_carry ? carry : 0;
+        for (index_t i = b; i < e; ++i) {
+          run += input[static_cast<std::size_t>(i)];
+          output[static_cast<std::size_t>(i)] = run;
+        }
+      },
+      /*min_chunk=*/chunk);
+  long long expected = 0;
+  for (index_t i = 0; i < n; ++i) {
+    expected += input[static_cast<std::size_t>(i)];
+    ASSERT_EQ(output[static_cast<std::size_t>(i)], expected) << i;
+  }
+}
+
+TYPED_TEST(SkeletonTest, Pack1pKeepsOrderCountAndTotal) {
+  auto backend = this->make();
+  for (index_t n : {index_t{1}, index_t{100}, index_t{50000}}) {
+    std::vector<int> input(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) { input[static_cast<std::size_t>(i)] = static_cast<int>(i); }
+    std::vector<int> output(static_cast<std::size_t>(n), -1);
+    auto is_kept = [](int v) { return v % 3 == 0; };
+    const index_t total = parallel_pack_1p(
+        backend, n,
+        [&](index_t b, index_t e) {
+          index_t count = 0;
+          for (index_t i = b; i < e; ++i) { count += is_kept(input[static_cast<std::size_t>(i)]); }
+          return count;
+        },
+        [&](index_t b, index_t e, index_t offset) {
+          const index_t start = offset;
+          for (index_t i = b; i < e; ++i) {
+            if (is_kept(input[static_cast<std::size_t>(i)])) {
+              output[static_cast<std::size_t>(offset++)] = input[static_cast<std::size_t>(i)];
+            }
+          }
+          return offset - start;
+        },
+        /*min_chunk=*/64);
+    ASSERT_EQ(total, (n + 2) / 3) << n;
+    for (index_t i = 0; i < total; ++i) {
+      ASSERT_EQ(output[static_cast<std::size_t>(i)], static_cast<int>(i * 3)) << n;
+    }
+  }
+}
+
+// Copy/move accounting type for the scan carry machinery.
+struct move_counter {
+  long long value = 0;
+  static std::atomic<int> copies;
+  move_counter() = default;
+  explicit move_counter(long long v) : value(v) {}
+  move_counter(const move_counter& o) : value(o.value) { copies.fetch_add(1); }
+  move_counter& operator=(const move_counter& o) {
+    value = o.value;
+    copies.fetch_add(1);
+    return *this;
+  }
+  move_counter(move_counter&&) = default;
+  move_counter& operator=(move_counter&&) = default;
+};
+std::atomic<int> move_counter::copies{0};
+
+TEST(TwoPassScan, CarryLoopMovesInsteadOfCopying) {
+  // The serial prefix between the two passes needs exactly one copy per
+  // chunk (carry[c] = running, which is genuinely used twice); everything
+  // else — folding sums into the running prefix and handing carries to the
+  // rescan — must move. A heavy T would otherwise pay 2-3 copies per chunk.
+  fork_join_backend backend(4);
+  const index_t n = 100000;
+  move_counter::copies.store(0);
+  std::vector<long long> output(static_cast<std::size_t>(n));
+  parallel_scan<fork_join_backend, move_counter>(
+      backend, n,
+      [](move_counter a, move_counter b) { return move_counter(a.value + b.value); },
+      [&](index_t b, index_t e) { return move_counter(e - b); },
+      [&](index_t b, index_t e, move_counter carry, bool has_carry) {
+        long long run = has_carry ? carry.value : 0;
+        for (index_t i = b; i < e; ++i) {
+          output[static_cast<std::size_t>(i)] = ++run;
+        }
+      });
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_EQ(output[static_cast<std::size_t>(i)], i + 1);
+  }
+  const chunk_table chunks(n, backend.slots());
+  EXPECT_LE(move_counter::copies.load(), static_cast<int>(chunks.count));
+}
+
+TEST(ChunkTable, MinChunkAndOversubAreConfigurable) {
+  // Constructor parameters override the defaults.
+  const chunk_table fine(1 << 20, 4, /*min_chunk=*/256, /*oversub=*/8);
+  EXPECT_EQ(fine.count, 32);  // slots * oversub
+  EXPECT_GE(fine.chunk, 256);
+  const chunk_table floor(4096, 4, /*min_chunk=*/1024, /*oversub=*/8);
+  EXPECT_EQ(floor.count, 4);  // min_chunk floor beats slots * oversub
+  EXPECT_EQ(floor.chunk, 1024);
+}
+
+TEST(ChunkTable, EnvironmentOverridesDefaults) {
+  ::setenv("PSTLB_SCAN_CHUNK", "512", 1);
+  ::setenv("PSTLB_SCAN_OVERSUB", "2", 1);
+  EXPECT_EQ(default_scan_min_chunk(), 512);
+  EXPECT_EQ(default_scan_oversub(), 2);
+  const chunk_table t(1 << 20, 4);
+  EXPECT_EQ(t.count, 8);  // slots * PSTLB_SCAN_OVERSUB
+  ::unsetenv("PSTLB_SCAN_CHUNK");
+  ::unsetenv("PSTLB_SCAN_OVERSUB");
+  EXPECT_EQ(default_scan_min_chunk(), 2048);
+  EXPECT_EQ(default_scan_oversub(), 4);
+}
+
+TEST(LookbackChunkSize, RespectsFloorAndCacheCap) {
+  // Small inputs collapse to the floor; huge inputs are capped so the
+  // in-chunk re-read stays cache-resident.
+  EXPECT_EQ(lookback_chunk_size(1 << 12, 8, 2048), 2048);
+  EXPECT_EQ(lookback_chunk_size(index_t{1} << 30, 8, 2048), index_t{1} << 15);
+  EXPECT_EQ(lookback_chunk_size(1 << 20, 8, 512), 2048);  // n / (threads * 64)
 }
 
 TEST(Nesting, NestedLoopsFallBackSequentially) {

@@ -1,10 +1,16 @@
-// Scan-family and pack-family algorithms vs std::, all policies.
+// Scan-family and pack-family algorithms vs std::, all policies — including
+// the single-pass decoupled-lookback skeleton (the default) against the
+// two-pass skeleton, non-commutative operators, a 1..N thread sweep, and
+// the bytes-read accounting that distinguishes the two skeletons.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <numeric>
+#include <string>
 #include <vector>
 
+#include "counters/counters.hpp"
 #include "pstlb/pstlb.hpp"
 #include "support/policies.hpp"
 
@@ -166,6 +172,127 @@ TYPED_TEST(ScanAlgos, RemoveInPlace) {
   auto o2 = pstlb::remove(this->pol, v2.begin(), v2.end(), 17LL);
   ASSERT_EQ(o2 - v2.begin(), e2 - expected2.begin());
   ASSERT_TRUE(std::equal(v2.begin(), o2, expected2.begin()));
+}
+
+// 2x2 integer matrices under multiplication: associative, emphatically not
+// commutative. Entries stay small via mod arithmetic.
+struct mat2 {
+  std::array<long long, 4> m{1, 0, 0, 1};  // identity
+  friend mat2 operator*(const mat2& a, const mat2& b) {
+    constexpr long long kMod = 1000003;
+    mat2 r;
+    r.m = {(a.m[0] * b.m[0] + a.m[1] * b.m[2]) % kMod,
+           (a.m[0] * b.m[1] + a.m[1] * b.m[3]) % kMod,
+           (a.m[2] * b.m[0] + a.m[3] * b.m[2]) % kMod,
+           (a.m[2] * b.m[1] + a.m[3] * b.m[3]) % kMod};
+    return r;
+  }
+  friend bool operator==(const mat2& a, const mat2& b) { return a.m == b.m; }
+};
+
+TYPED_TEST(ScanAlgos, InclusiveScanNonCommutativeStrings) {
+  // Large enough that the lookback path engages (n >= 2^12) with many
+  // chunks; a commutativity violation anywhere scrambles character order.
+  const index_t n = 6000;
+  std::vector<std::string> v(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] = std::string(1, static_cast<char>('a' + i % 26));
+  }
+  std::vector<std::string> out(v.size()), expected(v.size());
+  auto concat = [](std::string a, std::string b) { return std::move(a) + b; };
+  std::inclusive_scan(v.begin(), v.end(), expected.begin(), concat);
+  pstlb::inclusive_scan(this->pol, v.begin(), v.end(), out.begin(), concat);
+  ASSERT_EQ(out, expected);
+}
+
+TYPED_TEST(ScanAlgos, ScansNonCommutativeMatrixCompose) {
+  const index_t n = 20000;
+  std::vector<mat2> v(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)].m = {i % 7 + 1, i % 5, i % 3, i % 11 + 1};
+  }
+  std::vector<mat2> out(v.size()), expected(v.size());
+  std::inclusive_scan(v.begin(), v.end(), expected.begin(), std::multiplies<>{});
+  pstlb::inclusive_scan(this->pol, v.begin(), v.end(), out.begin(), std::multiplies<>{});
+  ASSERT_EQ(out, expected);
+
+  std::exclusive_scan(v.begin(), v.end(), expected.begin(), mat2{}, std::multiplies<>{});
+  pstlb::exclusive_scan(this->pol, v.begin(), v.end(), out.begin(), mat2{},
+                        std::multiplies<>{});
+  ASSERT_EQ(out, expected);
+}
+
+TYPED_TEST(ScanAlgos, BothSkeletonsMatchAcrossThreadSweep) {
+  // Stress the scan and pack paths while pinning 1..N threads, under both
+  // skeleton selections. Covers the "one worker drains every ticket" and
+  // "more workers than chunks" ends of the lookback protocol.
+  const index_t n = 1 << 16;
+  const auto v = make_ints(n);
+  std::vector<long long> expected(v.size());
+  std::inclusive_scan(v.begin(), v.end(), expected.begin());
+  auto pred = [](long long x) { return x % 7 < 3; };
+  std::vector<long long> packed_expected(v.size(), -7);
+  const auto packed_end =
+      std::copy_if(v.begin(), v.end(), packed_expected.begin(), pred);
+  for (unsigned threads : {1u, 2u, 3u, 4u, 8u}) {
+    for (pstlb::exec::scan_skeleton skeleton :
+         {pstlb::exec::scan_skeleton::two_pass,
+          pstlb::exec::scan_skeleton::single_pass}) {
+      auto swept = pstlb::test::make_eager<TypeParam>(threads);
+      swept.scan = skeleton;
+      std::vector<long long> out(v.size());
+      pstlb::inclusive_scan(swept, v.begin(), v.end(), out.begin());
+      ASSERT_EQ(out, expected)
+          << "threads=" << threads << " single_pass="
+          << (skeleton == pstlb::exec::scan_skeleton::single_pass);
+      std::vector<long long> packed(v.size(), -7);
+      const auto out_end =
+          pstlb::copy_if(swept, v.begin(), v.end(), packed.begin(), pred);
+      ASSERT_EQ(out_end - packed.begin(), packed_end - packed_expected.begin());
+      ASSERT_EQ(packed, packed_expected) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ScanCounters, LookbackHalvesInputBytesRead) {
+  // The software traffic accounting mirrors what PAPI would see: the
+  // two-pass skeleton streams the input from DRAM twice, the single-pass
+  // lookback skeleton once.
+  const index_t n = 1 << 16;
+  const auto v = make_ints(n);
+  std::vector<long long> out(v.size());
+  auto measure = [&](pstlb::exec::scan_skeleton skeleton) {
+    auto pol = pstlb::test::make_eager<pstlb::exec::steal_policy>();
+    pol.scan = skeleton;
+    pstlb::counters::region r("scan_traffic");
+    pstlb::inclusive_scan(pol, v.begin(), v.end(), out.begin());
+    return r.stop().bytes_read;
+  };
+  const double two_pass = measure(pstlb::exec::scan_skeleton::two_pass);
+  const double single_pass = measure(pstlb::exec::scan_skeleton::single_pass);
+  const double elem_bytes = static_cast<double>(n) * sizeof(long long);
+  EXPECT_DOUBLE_EQ(two_pass, 2.0 * elem_bytes);
+  EXPECT_DOUBLE_EQ(single_pass, elem_bytes);
+}
+
+TEST(ScanPolicyDefaults, NvcOmpProfileStaysTwoPass) {
+  // The NVC-OMP-like profile models a backend with no chained scan: it must
+  // keep the conservative two-pass skeleton, while every other parallel
+  // policy defaults to single-pass lookback (for large enough inputs).
+  EXPECT_EQ(pstlb::exec::omp_static_policy{}.scan,
+            pstlb::exec::scan_skeleton::two_pass);
+  EXPECT_EQ(pstlb::exec::fork_join_policy{}.scan,
+            pstlb::exec::scan_skeleton::single_pass);
+  EXPECT_EQ(pstlb::exec::steal_policy{}.scan,
+            pstlb::exec::scan_skeleton::single_pass);
+  EXPECT_EQ(pstlb::exec::task_policy{}.scan,
+            pstlb::exec::scan_skeleton::single_pass);
+  EXPECT_EQ(pstlb::exec::omp_dynamic_policy{}.scan,
+            pstlb::exec::scan_skeleton::single_pass);
+  // Tiny inputs always fall back to two-pass machinery.
+  pstlb::exec::steal_policy eager = pstlb::test::make_eager<pstlb::exec::steal_policy>();
+  EXPECT_FALSE(pstlb::exec::use_lookback_scan(eager, 100));
+  EXPECT_TRUE(pstlb::exec::use_lookback_scan(eager, 1 << 16));
 }
 
 TEST(ScanProperty, ScanThenAdjacentDifferenceIsIdentity) {
