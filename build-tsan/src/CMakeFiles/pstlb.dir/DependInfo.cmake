@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backends/backend_registry.cpp" "src/CMakeFiles/pstlb.dir/backends/backend_registry.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/backends/backend_registry.cpp.o.d"
+  "/root/repo/src/bench_core/analysis.cpp" "src/CMakeFiles/pstlb.dir/bench_core/analysis.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/bench_core/analysis.cpp.o.d"
+  "/root/repo/src/bench_core/generators.cpp" "src/CMakeFiles/pstlb.dir/bench_core/generators.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/bench_core/generators.cpp.o.d"
+  "/root/repo/src/bench_core/report.cpp" "src/CMakeFiles/pstlb.dir/bench_core/report.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/bench_core/report.cpp.o.d"
+  "/root/repo/src/counters/counters.cpp" "src/CMakeFiles/pstlb.dir/counters/counters.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/counters/counters.cpp.o.d"
+  "/root/repo/src/numa/page_registry.cpp" "src/CMakeFiles/pstlb.dir/numa/page_registry.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/numa/page_registry.cpp.o.d"
+  "/root/repo/src/numa/topology.cpp" "src/CMakeFiles/pstlb.dir/numa/topology.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/numa/topology.cpp.o.d"
+  "/root/repo/src/sched/steal_pool.cpp" "src/CMakeFiles/pstlb.dir/sched/steal_pool.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/sched/steal_pool.cpp.o.d"
+  "/root/repo/src/sched/task_queue_pool.cpp" "src/CMakeFiles/pstlb.dir/sched/task_queue_pool.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/sched/task_queue_pool.cpp.o.d"
+  "/root/repo/src/sched/thread_pool.cpp" "src/CMakeFiles/pstlb.dir/sched/thread_pool.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/sched/thread_pool.cpp.o.d"
+  "/root/repo/src/sim/backend_profile.cpp" "src/CMakeFiles/pstlb.dir/sim/backend_profile.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/sim/backend_profile.cpp.o.d"
+  "/root/repo/src/sim/cpu_engine.cpp" "src/CMakeFiles/pstlb.dir/sim/cpu_engine.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/sim/cpu_engine.cpp.o.d"
+  "/root/repo/src/sim/gpu_engine.cpp" "src/CMakeFiles/pstlb.dir/sim/gpu_engine.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/sim/gpu_engine.cpp.o.d"
+  "/root/repo/src/sim/kernel_model.cpp" "src/CMakeFiles/pstlb.dir/sim/kernel_model.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/sim/kernel_model.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/pstlb.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/memory_system.cpp" "src/CMakeFiles/pstlb.dir/sim/memory_system.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/sim/memory_system.cpp.o.d"
+  "/root/repo/src/sim/run.cpp" "src/CMakeFiles/pstlb.dir/sim/run.cpp.o" "gcc" "src/CMakeFiles/pstlb.dir/sim/run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

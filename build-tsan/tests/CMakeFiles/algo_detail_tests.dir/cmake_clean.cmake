@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_detail_tests.dir/pstlb/detail_test.cpp.o"
+  "CMakeFiles/algo_detail_tests.dir/pstlb/detail_test.cpp.o.d"
+  "algo_detail_tests"
+  "algo_detail_tests.pdb"
+  "algo_detail_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_detail_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for algo_detail_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_foreach_tests.dir/pstlb/algo_foreach_test.cpp.o"
+  "CMakeFiles/algo_foreach_tests.dir/pstlb/algo_foreach_test.cpp.o.d"
+  "algo_foreach_tests"
+  "algo_foreach_tests.pdb"
+  "algo_foreach_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_foreach_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

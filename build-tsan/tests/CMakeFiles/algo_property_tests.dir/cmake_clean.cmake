@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_property_tests.dir/pstlb/property_test.cpp.o"
+  "CMakeFiles/algo_property_tests.dir/pstlb/property_test.cpp.o.d"
+  "algo_property_tests"
+  "algo_property_tests.pdb"
+  "algo_property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_reduce_tests.dir/pstlb/algo_reduce_test.cpp.o"
+  "CMakeFiles/algo_reduce_tests.dir/pstlb/algo_reduce_test.cpp.o.d"
+  "algo_reduce_tests"
+  "algo_reduce_tests.pdb"
+  "algo_reduce_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_reduce_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_scan_tests.dir/pstlb/algo_scan_test.cpp.o"
+  "CMakeFiles/algo_scan_tests.dir/pstlb/algo_scan_test.cpp.o.d"
+  "algo_scan_tests"
+  "algo_scan_tests.pdb"
+  "algo_scan_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_scan_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_set_tests.dir/pstlb/algo_set_test.cpp.o"
+  "CMakeFiles/algo_set_tests.dir/pstlb/algo_set_test.cpp.o.d"
+  "algo_set_tests"
+  "algo_set_tests.pdb"
+  "algo_set_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_set_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

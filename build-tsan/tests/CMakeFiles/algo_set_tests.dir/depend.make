@@ -1,0 +1,2 @@
+# Empty dependencies file for algo_set_tests.
+# This may be replaced when dependencies are built.

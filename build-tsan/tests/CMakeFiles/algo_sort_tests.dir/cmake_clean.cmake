@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_sort_tests.dir/pstlb/algo_sort_test.cpp.o"
+  "CMakeFiles/algo_sort_tests.dir/pstlb/algo_sort_test.cpp.o.d"
+  "algo_sort_tests"
+  "algo_sort_tests.pdb"
+  "algo_sort_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_sort_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contract_tests.dir/pstlb/contract_test.cpp.o"
+  "CMakeFiles/contract_tests.dir/pstlb/contract_test.cpp.o.d"
+  "contract_tests"
+  "contract_tests.pdb"
+  "contract_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contract_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

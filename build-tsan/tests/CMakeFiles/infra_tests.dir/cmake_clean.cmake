@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infra_tests.dir/bench_core/analysis_test.cpp.o"
+  "CMakeFiles/infra_tests.dir/bench_core/analysis_test.cpp.o.d"
+  "CMakeFiles/infra_tests.dir/bench_core/generators_test.cpp.o"
+  "CMakeFiles/infra_tests.dir/bench_core/generators_test.cpp.o.d"
+  "CMakeFiles/infra_tests.dir/bench_core/report_test.cpp.o"
+  "CMakeFiles/infra_tests.dir/bench_core/report_test.cpp.o.d"
+  "CMakeFiles/infra_tests.dir/counters/counters_test.cpp.o"
+  "CMakeFiles/infra_tests.dir/counters/counters_test.cpp.o.d"
+  "CMakeFiles/infra_tests.dir/numa/allocator_test.cpp.o"
+  "CMakeFiles/infra_tests.dir/numa/allocator_test.cpp.o.d"
+  "infra_tests"
+  "infra_tests.pdb"
+  "infra_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infra_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_tests.dir/sched/chase_lev_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/chase_lev_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/steal_pool_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/steal_pool_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/task_queue_pool_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/task_queue_pool_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/thread_pool_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/thread_pool_test.cpp.o.d"
+  "sched_tests"
+  "sched_tests.pdb"
+  "sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

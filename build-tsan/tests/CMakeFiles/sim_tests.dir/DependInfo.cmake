@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/cpu_engine_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/cpu_engine_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/cpu_engine_test.cpp.o.d"
+  "/root/repo/tests/sim/gpu_engine_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/gpu_engine_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/gpu_engine_test.cpp.o.d"
+  "/root/repo/tests/sim/kernel_model_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/kernel_model_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/kernel_model_test.cpp.o.d"
+  "/root/repo/tests/sim/machine_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/machine_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/machine_test.cpp.o.d"
+  "/root/repo/tests/sim/memory_system_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/memory_system_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/memory_system_test.cpp.o.d"
+  "/root/repo/tests/sim/phase_breakdown_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/phase_breakdown_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/phase_breakdown_test.cpp.o.d"
+  "/root/repo/tests/sim/shape_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/shape_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/shape_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/pstlb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/cpu_engine_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/cpu_engine_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/gpu_engine_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/gpu_engine_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/kernel_model_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/kernel_model_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/machine_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/machine_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/memory_system_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/memory_system_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/phase_breakdown_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/phase_breakdown_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/shape_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/shape_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skeleton_tests.dir/backends/registry_test.cpp.o"
+  "CMakeFiles/skeleton_tests.dir/backends/registry_test.cpp.o.d"
+  "CMakeFiles/skeleton_tests.dir/backends/skeletons_test.cpp.o"
+  "CMakeFiles/skeleton_tests.dir/backends/skeletons_test.cpp.o.d"
+  "skeleton_tests"
+  "skeleton_tests.pdb"
+  "skeleton_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skeleton_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_tests.dir/pstlb/stress_test.cpp.o"
+  "CMakeFiles/stress_tests.dir/pstlb/stress_test.cpp.o.d"
+  "stress_tests"
+  "stress_tests.pdb"
+  "stress_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_type_tests.dir/pstlb/value_types_test.cpp.o"
+  "CMakeFiles/value_type_tests.dir/pstlb/value_types_test.cpp.o.d"
+  "value_type_tests"
+  "value_type_tests.pdb"
+  "value_type_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_type_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

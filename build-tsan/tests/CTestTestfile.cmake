@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/sched_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/skeleton_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/algo_foreach_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/algo_reduce_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/algo_scan_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/algo_sort_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/algo_set_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/algo_property_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/algo_detail_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/stress_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/value_type_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/fuzz_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/contract_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/infra_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim_tests[1]_include.cmake")
