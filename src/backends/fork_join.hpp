@@ -13,6 +13,7 @@
 #include "backends/backend.hpp"
 #include "backends/nesting.hpp"
 #include "sched/thread_pool.hpp"
+#include "trace/trace.hpp"
 
 namespace pstlb::backends {
 
@@ -45,7 +46,12 @@ class fork_join_backend {
                 b >= cancel->load(std::memory_order_relaxed)) {
               return;
             }
-            body(b, std::min<index_t>(b + step, end), tid);
+            const index_t be = std::min<index_t>(b + step, end);
+            const std::uint64_t t0 = trace::span_begin();
+            body(b, be, tid);
+            trace::record_span(trace::pool_id::fork_join,
+                               trace::event_kind::chunk, t0,
+                               static_cast<std::uint64_t>(be - b));
           }
         });
   }

@@ -14,6 +14,7 @@
 #include "backends/backend.hpp"
 #include "backends/nesting.hpp"
 #include "sched/thread_pool.hpp"
+#include "trace/trace.hpp"
 
 namespace pstlb::backends {
 
@@ -47,7 +48,12 @@ class omp_dynamic_backend {
                 begin >= cancel->load(std::memory_order_relaxed)) {
               continue;  // skip cancelled chunks but keep draining the cursor
             }
-            body(begin, std::min<index_t>(begin + step, n), tid);
+            const index_t end = std::min<index_t>(begin + step, n);
+            const std::uint64_t t0 = trace::span_begin();
+            body(begin, end, tid);
+            trace::record_span(trace::pool_id::fork_join,
+                               trace::event_kind::chunk, t0,
+                               static_cast<std::uint64_t>(end - begin));
           }
         });
   }

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "backends/skeletons.hpp"
+#include "trace/trace.hpp"
 
 namespace pstlb::backends {
 
@@ -159,9 +160,13 @@ void parallel_scan_1p(const B& be, index_t n, Combine&& combine,
       const index_t b = c * chunk;
       const index_t e = b + chunk < n ? b + chunk : n;
       auto& desc = chunks[static_cast<std::size_t>(c)];
+      const std::uint64_t elems = static_cast<std::uint64_t>(e - b);
       if (c == 0) {
+        const std::uint64_t t0 = trace::span_begin();
         desc.prefix = fused_block(b, e, T{}, false);
         desc.flag.store(detail::chunk_prefix, std::memory_order_release);
+        trace::record_span(trace::pool_id::scan, trace::event_kind::chunk, t0,
+                           elems);
         continue;
       }
       auto& pred = chunks[static_cast<std::size_t>(c - 1)];
@@ -169,21 +174,30 @@ void parallel_scan_1p(const B& be, index_t n, Combine&& combine,
         // Fast path: the chain is already resolved up to our chunk — one
         // fused pass reads each element exactly once. PREFIX is immutable
         // once published, so the copy is race-free.
+        const std::uint64_t t0 = trace::span_begin();
         desc.prefix = fused_block(b, e, T{pred.prefix}, true);
         desc.flag.store(detail::chunk_prefix, std::memory_order_release);
+        trace::record_span(trace::pool_id::scan, trace::event_kind::chunk, t0,
+                           elems);
         continue;
       }
       // Decoupled protocol: publish the aggregate, look back for the carry,
       // publish our prefix (successors unblock before we write output),
       // then rescan the — still cache-resident — chunk with the carry.
+      const std::uint64_t t0 = trace::span_begin();
       T agg = reduce_block(b, e);
       desc.aggregate = agg;
       desc.flag.store(detail::chunk_aggregate, std::memory_order_release);
+      const std::uint64_t lb0 = trace::span_begin();
       T carry = detail::lookback_carry(chunks, c, combine);
+      trace::record_span(trace::pool_id::scan, trace::event_kind::lookback, lb0,
+                         static_cast<std::uint64_t>(c));
       T carry_copy = carry;  // carry seeds both our prefix and the rescan
       desc.prefix = combine(std::move(carry_copy), std::move(agg));
       desc.flag.store(detail::chunk_prefix, std::memory_order_release);
       scan_block(b, e, std::move(carry), true);
+      trace::record_span(trace::pool_id::scan, trace::event_kind::chunk, t0,
+                         elems);
     }
   });
   if (final_prefix != nullptr) {

@@ -83,6 +83,15 @@ std::string eng(double value, int precision) {
   return ss.str();
 }
 
+std::vector<std::string> sched_headers() {
+  return {"steals ok", "steals fail", "spawned", "chunks"};
+}
+
+std::vector<std::string> sched_cells(const counters::counter_set& s) {
+  return {eng(s.sched_steals_ok), eng(s.sched_steals_failed),
+          eng(s.sched_tasks_spawned), eng(s.sched_chunks)};
+}
+
 std::string pow2_label(double n) {
   const double log = std::log2(n);
   const double rounded = std::round(log);

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "counters/counters.hpp"
+
 namespace pstlb::bench {
 
 class table {
@@ -37,5 +39,12 @@ std::string triple(double a, double b, double c, int precision = 1);
 std::string eng(double value, int precision = 3);
 /// Human size for element counts: 2^k when exact, plain otherwise.
 std::string pow2_label(double n);
+
+/// Optional scheduler-telemetry columns (src/trace): header labels and the
+/// matching cells for one counter_set. Benches append these to their tables
+/// when a run was traced (PSTLB_TRACE=1), keeping trace-off output
+/// byte-identical to the paper layout.
+std::vector<std::string> sched_headers();
+std::vector<std::string> sched_cells(const counters::counter_set& s);
 
 }  // namespace pstlb::bench

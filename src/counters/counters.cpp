@@ -1,5 +1,7 @@
 #include "counters/counters.hpp"
 
+#include <algorithm>
+
 namespace pstlb::counters {
 
 counter_set& counter_set::operator+=(const counter_set& other) {
@@ -10,6 +12,10 @@ counter_set& counter_set::operator+=(const counter_set& other) {
   bytes_read += other.bytes_read;
   bytes_written += other.bytes_written;
   seconds += other.seconds;
+  sched_steals_ok += other.sched_steals_ok;
+  sched_steals_failed += other.sched_steals_failed;
+  sched_tasks_spawned += other.sched_tasks_spawned;
+  sched_chunks += other.sched_chunks;
   return *this;
 }
 
@@ -26,6 +32,10 @@ void report_work(const counter_set& work);
 
 region::region(std::string_view name)
     : name_(name), start_(std::chrono::steady_clock::now()) {
+  if (trace::enabled()) {
+    traced_ = true;
+    sched_before_ = trace::totals();
+  }
   tls_regions.push_back(this);
 }
 
@@ -34,9 +44,23 @@ const counter_set& region::stop() {
     const auto end = std::chrono::steady_clock::now();
     result_ = accumulated_;
     result_.seconds = std::chrono::duration<double>(end - start_).count();
+    if (traced_ && trace::enabled()) {
+      const trace::sched_totals now = trace::totals();
+      auto d = [](std::uint64_t after, std::uint64_t before) {
+        return after > before ? static_cast<double>(after - before) : 0.0;
+      };
+      result_.sched_steals_ok = d(now.steals_ok, sched_before_.steals_ok);
+      result_.sched_steals_failed = d(now.steals_failed, sched_before_.steals_failed);
+      result_.sched_tasks_spawned = d(now.tasks_spawned, sched_before_.tasks_spawned);
+      result_.sched_chunks = d(now.chunks, sched_before_.chunks);
+    }
     stopped_ = true;
-    if (!tls_regions.empty() && tls_regions.back() == this) {
-      tls_regions.pop_back();
+    // Remove this region wherever it sits in the stack: stopping an outer
+    // region while an inner one is active must not leave a stopped region
+    // behind to swallow later report_work() calls (see report_work docs).
+    const auto it = std::find(tls_regions.rbegin(), tls_regions.rend(), this);
+    if (it != tls_regions.rend()) {
+      tls_regions.erase(std::next(it).base());
     }
     marker_registry::instance().add(name_, result_);
   }

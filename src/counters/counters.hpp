@@ -23,6 +23,8 @@
 #include <string_view>
 #include <vector>
 
+#include "trace/trace.hpp"
+
 namespace pstlb::counters {
 
 struct counter_set {
@@ -33,6 +35,13 @@ struct counter_set {
   double bytes_read = 0;     // DRAM read volume
   double bytes_written = 0;  // DRAM write volume
   double seconds = 0;        // region wall time
+
+  // Scheduler telemetry (src/trace): filled by regions while PSTLB_TRACE is
+  // on, and by trace::fold_into_markers. Zero in trace-off runs.
+  double sched_steals_ok = 0;
+  double sched_steals_failed = 0;
+  double sched_tasks_spawned = 0;
+  double sched_chunks = 0;
 
   counter_set& operator+=(const counter_set& other);
 
@@ -45,12 +54,22 @@ struct counter_set {
   }
 };
 
-/// Adds software-accounted work to the innermost active region of the
-/// calling thread's region stack (no-op when no region is active). Kernels
-/// in bench_core call this with their known traffic/flop counts.
+/// Adds software-accounted work to the *innermost active* region of the
+/// calling thread's region stack, exactly once. Guarantees, tested in
+/// tests/counters:
+///   - a thread with no active region: silent no-op (never an error);
+///   - nested regions: only the innermost active region accumulates the
+///     work — outer regions do not see it, and nothing is double-counted;
+///   - a stopped region never accumulates: stop() removes the region from
+///     the stack even when an inner region is still active, so late
+///     reports fall through to the next enclosing active region.
+/// Kernels in bench_core call this with their known traffic/flop counts.
 void report_work(const counter_set& work);
 
 /// RAII measurement region (the hw_counters_begin/end pair of Listing 4).
+/// While PSTLB_TRACE is on, a region also captures the process-wide
+/// scheduler-telemetry delta (steals, spawns, chunks) between construction
+/// and stop() into the sched_* fields of its result.
 class region {
  public:
   explicit region(std::string_view name);
@@ -70,6 +89,8 @@ class region {
   std::chrono::steady_clock::time_point start_;
   counter_set accumulated_;  // work reported while active
   counter_set result_;
+  trace::sched_totals sched_before_;  // telemetry baseline (tracing only)
+  bool traced_ = false;
   bool stopped_ = false;
 };
 

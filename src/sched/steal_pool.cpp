@@ -4,9 +4,12 @@
 #include <random>
 #include <thread>
 
+#include "trace/trace.hpp"
+
 namespace pstlb::sched {
 
-steal_pool::steal_pool(unsigned workers) : pool_(workers) {
+steal_pool::steal_pool(unsigned workers)
+    : pool_(workers, "steal", trace::pool_id::steal) {
   ensure_deques(workers + 1);
 }
 
@@ -43,14 +46,25 @@ void steal_pool::work(unsigned tid, unsigned nthreads) {
   auto& mine = *deques_[tid];
   std::minstd_rand rng(tid * 0x9E3779B9u + 0x85EBCA6Bu);
   int idle_spins = 0;
+  // Tracing: one idle span covers the whole out-of-work interval (first
+  // failed pop until work is found or the loop drains), not every spin.
+  std::uint64_t idle_since = 0;
 
   for (;;) {
     std::optional<packed_chunks> item = mine.pop();
     if (!item) {
-      if (remaining_.load(std::memory_order_acquire) == 0) { return; }
+      if (remaining_.load(std::memory_order_acquire) == 0) {
+        trace::record_span(trace::pool_id::steal, trace::event_kind::idle,
+                           idle_since);
+        return;
+      }
       const unsigned victim = static_cast<unsigned>(rng()) % nthreads;
-      if (victim != tid) { item = deques_[victim]->steal(); }
+      if (victim != tid) {
+        item = deques_[victim]->steal();
+        trace::count_steal(trace::pool_id::steal, item.has_value(), victim);
+      }
       if (!item) {
+        if (idle_since == 0) { idle_since = trace::span_begin(); }
         if (++idle_spins >= 64) {
           std::this_thread::yield();
           idle_spins = 0;
@@ -59,6 +73,8 @@ void steal_pool::work(unsigned tid, unsigned nthreads) {
       }
     }
     idle_spins = 0;
+    trace::record_span(trace::pool_id::steal, trace::event_kind::idle, idle_since);
+    idle_since = 0;
 
     std::uint32_t begin = chunk_begin(*item);
     std::uint32_t end = chunk_end(*item);
@@ -68,9 +84,16 @@ void steal_pool::work(unsigned tid, unsigned nthreads) {
     while (end - begin > 1) {
       const std::uint32_t mid = begin + (end - begin) / 2;
       mine.push(pack_chunks(mid, end));
+      trace::count_split(trace::pool_id::steal);
       end = mid;
     }
+    index_t eb = 0;
+    index_t ee = 0;
+    ctx.chunk_bounds(static_cast<index_t>(begin), eb, ee);
+    const std::uint64_t t0 = trace::span_begin();
     ctx.execute_chunk(static_cast<index_t>(begin), tid);
+    trace::record_span(trace::pool_id::steal, trace::event_kind::chunk, t0,
+                       static_cast<std::uint64_t>(ee - eb));
     remaining_.fetch_sub(1, std::memory_order_release);
   }
 }

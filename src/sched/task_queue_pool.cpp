@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace pstlb::sched {
 
 namespace {
@@ -40,6 +42,9 @@ void task_queue_pool::ensure(unsigned participants) {
 
 void task_queue_pool::submit(std::function<void()> task) {
   auto* node = new task_node{std::move(task)};
+  // The heap allocation + central enqueue above IS the HPX-like per-task
+  // overhead the paper measures; `spawn` telemetry counts exactly these.
+  trace::count_spawn(trace::pool_id::task_queue);
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(node);
@@ -70,12 +75,19 @@ bool task_queue_pool::run_one(std::unique_lock<std::mutex>& lock) {
 
 void task_queue_pool::worker_main(unsigned slot) {
   tls_slot = slot;
+  trace::set_thread_label("task_queue worker " + std::to_string(slot));
   std::unique_lock lock(mutex_);
   for (;;) {
+    // Unlock around the timestamp: span_begin is cheap but there is no
+    // reason to take the clock under the queue mutex.
+    lock.unlock();
+    const std::uint64_t idle0 = trace::span_begin();
+    lock.lock();
     work_cv_.wait(lock, [this] {
       return stopping_ || (!queue_.empty() && active_workers_ < active_limit_);
     });
     if (stopping_) { return; }
+    trace::record_span(trace::pool_id::task_queue, trace::event_kind::idle, idle0);
     ++active_workers_;
     while (!queue_.empty()) {
       run_one(lock);
@@ -102,7 +114,15 @@ void task_queue_pool::run(unsigned participants, const loop_context& ctx) {
   }
   // One heap-allocated task per chunk — the deliberate HPX-like cost profile.
   for (index_t c = 0; c < chunks; ++c) {
-    submit([&ctx, c] { ctx.execute_chunk(c, tls_slot); });
+    submit([&ctx, c] {
+      index_t b = 0;
+      index_t e = 0;
+      ctx.chunk_bounds(c, b, e);
+      const std::uint64_t t0 = trace::span_begin();
+      ctx.execute_chunk(c, tls_slot);
+      trace::record_span(trace::pool_id::task_queue, trace::event_kind::chunk,
+                         t0, static_cast<std::uint64_t>(e - b));
+    });
   }
   // The caller participates by draining the queue, then waits for stragglers.
   {

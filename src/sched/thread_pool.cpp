@@ -4,7 +4,8 @@
 
 namespace pstlb::sched {
 
-thread_pool::thread_pool(unsigned workers) {
+thread_pool::thread_pool(unsigned workers, std::string name, trace::pool_id pool)
+    : name_(std::move(name)), trace_pool_(pool) {
   workers_.reserve(workers);
   for (unsigned tid = 1; tid <= workers; ++tid) {
     workers_.emplace_back([this, tid] { worker_main(tid); });
@@ -48,7 +49,11 @@ void thread_pool::run(unsigned threads, const region_fn& fn) {
   }
   start_cv_.notify_all();
 
-  fn(0, threads);  // the caller is participant 0
+  {  // the caller is participant 0
+    const std::uint64_t t0 = trace::span_begin();
+    fn(0, threads);
+    trace::record_span(trace_pool_, trace::event_kind::region, t0, threads);
+  }
 
   std::unique_lock lock(mutex_);
   done_cv_.wait(lock, [this] { return remaining_ == 0; });
@@ -56,10 +61,14 @@ void thread_pool::run(unsigned threads, const region_fn& fn) {
 }
 
 void thread_pool::worker_main(unsigned tid) {
+  trace::set_thread_label(name_ + " worker " + std::to_string(tid));
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const region_fn* job = nullptr;
     unsigned nthreads = 0;
+    // The park interval (waiting for the next region, or for a region this
+    // worker does not participate in) is the fork-join model's idle time.
+    const std::uint64_t idle0 = trace::span_begin();
     {
       std::unique_lock lock(mutex_);
       start_cv_.wait(lock, [&] {
@@ -70,7 +79,10 @@ void thread_pool::worker_main(unsigned tid) {
       job = job_;
       nthreads = job_threads_;
     }
+    trace::record_span(trace_pool_, trace::event_kind::idle, idle0);
+    const std::uint64_t t0 = trace::span_begin();
     (*job)(tid, nthreads);
+    trace::record_span(trace_pool_, trace::event_kind::region, t0, nthreads);
     {
       std::lock_guard lock(mutex_);
       --remaining_;

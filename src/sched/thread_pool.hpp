@@ -12,10 +12,12 @@
 #include <condition_variable>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "pstlb/common.hpp"
+#include "trace/trace.hpp"
 
 namespace pstlb::sched {
 
@@ -29,7 +31,10 @@ class thread_pool {
  public:
   using region_fn = std::function<void(unsigned tid, unsigned nthreads)>;
 
-  explicit thread_pool(unsigned workers);
+  /// `name`/`pool` identify this pool in scheduler traces: worker tracks
+  /// are labelled "<name> worker <tid>" and idle/region spans carry `pool`.
+  explicit thread_pool(unsigned workers, std::string name = "fork_join",
+                       trace::pool_id pool = trace::pool_id::fork_join);
   ~thread_pool();
 
   thread_pool(const thread_pool&) = delete;
@@ -52,6 +57,8 @@ class thread_pool {
  private:
   void worker_main(unsigned tid);
 
+  std::string name_;             // immutable after construction
+  trace::pool_id trace_pool_;    // immutable after construction
   std::vector<std::thread> workers_;
 
   std::mutex region_mutex_;  // serializes concurrent run() callers

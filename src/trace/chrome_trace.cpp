@@ -1,0 +1,101 @@
+#include "trace/chrome_trace.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "trace/trace.hpp"
+
+namespace pstlb::trace {
+
+namespace {
+
+/// trace_event timestamps are microseconds; keep nanosecond precision as a
+/// 3-digit fraction without going through floating point.
+void write_us(std::ostream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.' << static_cast<char>('0' + ns / 100 % 10)
+     << static_cast<char>('0' + ns / 10 % 10) << static_cast<char>('0' + ns % 10);
+}
+
+void write_event(std::ostream& os, const event& e, std::uint32_t tid) {
+  os << "{\"name\":\"" << kind_name(e.kind) << "\",\"cat\":\""
+     << pool_name(e.pool) << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
+  write_us(os, e.begin_ns);
+  const bool span = e.kind == event_kind::chunk || e.kind == event_kind::idle ||
+                    e.kind == event_kind::region || e.kind == event_kind::lookback;
+  if (span) {
+    os << ",\"ph\":\"X\",\"dur\":";
+    write_us(os, e.end_ns > e.begin_ns ? e.end_ns - e.begin_ns : 0);
+  } else {
+    os << ",\"ph\":\"i\",\"s\":\"t\"";
+  }
+  os << ",\"args\":{\"";
+  switch (e.kind) {
+    case event_kind::chunk: os << "elems"; break;
+    case event_kind::steal_ok:
+    case event_kind::steal_fail: os << "victim"; break;
+    default: os << "arg"; break;
+  }
+  os << "\":" << e.arg << "}}";
+}
+
+/// JSON string escaping for thread labels (labels are ASCII identifiers in
+/// practice, but never trust a string you didn't write this call).
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+             << "0123456789abcdef"[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (event_ring* ring : registry::instance().rings()) {
+    const std::uint32_t tid = ring->id();
+    std::string label = ring->label();
+    if (label.empty()) { label = "thread-" + std::to_string(tid); }
+    if (!first) { os << ','; }
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":";
+    write_json_string(os, label);
+    os << "}}";
+    for (const event& e : ring->snapshot()) {
+      os << ',';
+      write_event(os, e, tid);
+    }
+  }
+  os << "]}\n";
+  os.flush();
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) { return false; }
+  write_chrome_trace(os);
+  return os.good();
+}
+
+bool export_to_env_file() {
+  const char* path = std::getenv("PSTLB_TRACE_FILE");
+  if (path == nullptr || *path == '\0') { return false; }
+  return write_chrome_trace_file(path);
+}
+
+}  // namespace pstlb::trace

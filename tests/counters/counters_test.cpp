@@ -85,6 +85,60 @@ TEST(ReportWork, NoActiveRegionIsNoOp) {
   SUCCEED();
 }
 
+// Contract: work reported after the innermost region stopped falls through
+// to the next enclosing ACTIVE region — a stopped region never accumulates.
+TEST(Region, WorkAfterInnerStopGoesToOuterOnce) {
+  marker_registry::instance().reset();
+  {
+    region outer("wais-outer");
+    {
+      region inner("wais-inner");
+      inner.stop();  // early stop; inner must leave the stack immediately
+      counter_set work;
+      work.fp_scalar = 11;
+      report_work(work);
+    }
+  }
+  const auto stats = marker_registry::instance().snapshot();
+  EXPECT_DOUBLE_EQ(stats.at("wais-inner").total.fp_scalar, 0);
+  EXPECT_DOUBLE_EQ(stats.at("wais-outer").total.fp_scalar, 11);
+}
+
+// Contract: stopping an OUTER region while an inner one is active removes
+// the outer from the stack (no stopped-region zombie) and the inner keeps
+// attributing work to itself, exactly once.
+TEST(Region, OutOfOrderOuterStopKeepsInnerAttribution) {
+  marker_registry::instance().reset();
+  {
+    region outer("ooo-outer");
+    region inner("ooo-inner");
+    outer.stop();
+    counter_set work;
+    work.fp_scalar = 5;
+    report_work(work);
+    inner.stop();
+    // Both regions gone: this report must be a silent no-op.
+    report_work(work);
+  }
+  const auto stats = marker_registry::instance().snapshot();
+  EXPECT_DOUBLE_EQ(stats.at("ooo-inner").total.fp_scalar, 5);
+  EXPECT_DOUBLE_EQ(stats.at("ooo-outer").total.fp_scalar, 0);
+}
+
+TEST(CounterSet, SchedFieldsAccumulate) {
+  counter_set a;
+  a.sched_steals_ok = 3;
+  a.sched_steals_failed = 1;
+  a.sched_tasks_spawned = 16;
+  a.sched_chunks = 32;
+  counter_set b = a;
+  b += a;
+  EXPECT_DOUBLE_EQ(b.sched_steals_ok, 6);
+  EXPECT_DOUBLE_EQ(b.sched_steals_failed, 2);
+  EXPECT_DOUBLE_EQ(b.sched_tasks_spawned, 32);
+  EXPECT_DOUBLE_EQ(b.sched_chunks, 64);
+}
+
 TEST(MarkerRegistry, AggregatesAcrossCalls) {
   marker_registry::instance().reset();
   for (int i = 0; i < 5; ++i) {

@@ -1,0 +1,189 @@
+#include "trace/sched_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "backends/fork_join.hpp"
+#include "counters/counters.hpp"
+#include "pstlb/pstlb.hpp"
+#include "sched/steal_pool.hpp"
+#include "trace/trace.hpp"
+
+namespace pstlb::trace {
+namespace {
+
+class TracedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    before_ = collect();
+  }
+  void TearDown() override { set_enabled(false); }
+  sched_metrics window() const { return delta(before_, collect()); }
+
+  sched_metrics before_;
+};
+
+// Satellite regression: forced imbalance (one fat chunk) must produce at
+// least one steal attempt; a perfectly static fork-join run must produce
+// exactly zero.
+TEST_F(TracedTest, StealPoolReportsStealsUnderForcedImbalance) {
+  sched::steal_pool pool(3);
+  sched::loop_context ctx;
+  ctx.n = 8;
+  ctx.grain = 1;  // 8 chunks; chunk 0 is deliberately fat
+  ctx.run = [](void*, index_t b, index_t, unsigned) {
+    if (b == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  };
+  pool.run(4, ctx);
+  const sched_metrics w = window();
+  EXPECT_GE(w.steals_ok() + w.steals_failed(), 1u)
+      << "a 50ms fat chunk must leave the other participants stealing";
+  EXPECT_EQ(w.chunks(), 8u);
+  EXPECT_GT(w.idle_s(), 0.0) << "threads starved behind the fat chunk";
+}
+
+TEST_F(TracedTest, StaticForkJoinRunHasZeroSteals) {
+  backends::fork_join_backend be(4);
+  std::vector<double> data(1 << 14, 1.0);
+  be.for_blocks(static_cast<index_t>(data.size()), 1 << 10, nullptr,
+                [&](index_t b, index_t e, unsigned) {
+                  for (index_t i = b; i < e; ++i) {
+                    data[static_cast<std::size_t>(i)] += 1.0;
+                  }
+                });
+  const sched_metrics w = window();
+  EXPECT_EQ(w.steals_ok(), 0u);
+  EXPECT_EQ(w.steals_failed(), 0u);
+  EXPECT_EQ(w.tasks_spawned(), 0u);
+  EXPECT_EQ(w.range_splits(), 0u);
+  EXPECT_EQ(w.chunks(), 16u);  // 4 slices x 4 grain-blocks
+}
+
+TEST_F(TracedTest, FuturesBackendSpawnsOneTaskPerChunk) {
+  exec::task_policy policy{4};
+  policy.grain = 1 << 12;  // 2^16 / 2^12 = 16 chunks
+  std::vector<elem_t> data(1 << 16, elem_t{1});
+  pstlb::for_each(policy, data.begin(), data.end(), [](elem_t& v) { v += 1; });
+  const sched_metrics w = window();
+  EXPECT_EQ(w.tasks_spawned(), 16u);
+  EXPECT_EQ(w.chunks(), 16u);
+  EXPECT_EQ(w.chunk_elems(), std::uint64_t{1} << 16);
+  EXPECT_EQ(w.steals_ok() + w.steals_failed(), 0u);
+}
+
+TEST_F(TracedTest, StealBackendSplitsRangesInsteadOfSpawning) {
+  exec::steal_policy policy{4};
+  policy.grain = 1 << 10;
+  std::vector<elem_t> data(1 << 15, elem_t{1});
+  pstlb::for_each(policy, data.begin(), data.end(), [](elem_t& v) { v += 1; });
+  const sched_metrics w = window();
+  EXPECT_EQ(w.tasks_spawned(), 0u);
+  EXPECT_GE(w.range_splits(), 1u);
+  EXPECT_EQ(w.chunks(), 32u);
+  EXPECT_EQ(w.chunk_elems(), std::uint64_t{1} << 15);
+}
+
+TEST_F(TracedTest, RegionCapturesSchedDelta) {
+  counters::marker_registry::instance().reset();
+  backends::fork_join_backend be(4);
+  std::vector<double> data(1 << 14, 1.0);
+  {
+    counters::region r("traced-region");
+    be.for_blocks(static_cast<index_t>(data.size()), 1 << 12, nullptr,
+                  [&](index_t b, index_t e, unsigned) {
+                    for (index_t i = b; i < e; ++i) {
+                      data[static_cast<std::size_t>(i)] += 1.0;
+                    }
+                  });
+  }
+  const auto stats = counters::marker_registry::instance().snapshot();
+  const auto it = stats.find("traced-region");
+  ASSERT_NE(it, stats.end());
+  EXPECT_DOUBLE_EQ(it->second.total.sched_chunks, 4.0);  // 4 slices, 1 block each
+  EXPECT_DOUBLE_EQ(it->second.total.sched_steals_ok, 0.0);
+  EXPECT_DOUBLE_EQ(it->second.total.sched_tasks_spawned, 0.0);
+}
+
+TEST_F(TracedTest, FoldIntoMarkersPublishesSchedColumns) {
+  counters::marker_registry::instance().reset();
+  backends::fork_join_backend be(2);
+  std::vector<double> data(1 << 13, 1.0);
+  be.for_blocks(static_cast<index_t>(data.size()), 1 << 12, nullptr,
+                [&](index_t b, index_t e, unsigned) {
+                  for (index_t i = b; i < e; ++i) {
+                    data[static_cast<std::size_t>(i)] += 1.0;
+                  }
+                });
+  fold_into_markers("sched-window", window());
+  const auto stats = counters::marker_registry::instance().snapshot();
+  const auto it = stats.find("sched-window");
+  ASSERT_NE(it, stats.end());
+  EXPECT_GT(it->second.total.sched_chunks, 0.0);
+}
+
+TEST(SchedMetricsMath, PercentilesFromHistogram) {
+  sched_metrics m;
+  m.chunk_hist[10] = 90;  // 90 chunks of ~2^10
+  m.chunk_hist[15] = 10;  // 10 chunks of ~2^15
+  EXPECT_DOUBLE_EQ(m.chunk_size_p50(), 1024.0);
+  EXPECT_DOUBLE_EQ(m.chunk_size_p95(), 32768.0);
+  sched_metrics empty;
+  EXPECT_DOUBLE_EQ(empty.chunk_size_p50(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.chunk_size_p95(), 0.0);
+}
+
+TEST(SchedMetricsMath, LoadImbalanceAndBusyFraction) {
+  sched_metrics m;
+  thread_metrics a;
+  a.ring_id = 0;
+  a.busy_s = 3.0;
+  a.idle_s = 1.0;
+  thread_metrics b;
+  b.ring_id = 1;
+  b.busy_s = 1.0;
+  b.idle_s = 3.0;
+  m.threads = {a, b};
+  EXPECT_DOUBLE_EQ(m.load_imbalance(), 1.5);  // max 3 / mean 2
+  EXPECT_DOUBLE_EQ(m.threads[0].busy_fraction(), 0.75);
+  EXPECT_DOUBLE_EQ(m.threads[1].busy_fraction(), 0.25);
+  sched_metrics idle_only;
+  EXPECT_DOUBLE_EQ(idle_only.load_imbalance(), 0.0);
+}
+
+TEST(SchedMetricsMath, DeltaIsSaturatingAndKeepsNewThreads) {
+  sched_metrics before;
+  thread_metrics t0;
+  t0.ring_id = 0;
+  t0.chunks = 10;
+  before.threads = {t0};
+  before.chunk_hist[4] = 10;
+
+  sched_metrics after;
+  thread_metrics t0b = t0;
+  t0b.chunks = 25;
+  thread_metrics t1;
+  t1.ring_id = 1;
+  t1.chunks = 7;
+  after.threads = {t0b, t1};
+  after.chunk_hist[4] = 22;
+
+  const sched_metrics d = delta(before, after);
+  ASSERT_EQ(d.threads.size(), 2u);
+  EXPECT_EQ(d.threads[0].chunks, 15u);
+  EXPECT_EQ(d.threads[1].chunks, 7u);
+  EXPECT_EQ(d.chunk_hist[4], 12u);
+
+  // Saturation: a window that straddles a counter reset never underflows.
+  const sched_metrics inverse = delta(after, before);
+  EXPECT_EQ(inverse.threads[0].chunks, 0u);
+}
+
+}  // namespace
+}  // namespace pstlb::trace
