@@ -14,11 +14,31 @@
 #include <string>
 
 #include "bench_core/report.hpp"
+#include "counters/counters.hpp"
 #include "sim/run.hpp"
 
 namespace pstlb::bench {
 
 inline constexpr double kN30 = 1073741824.0;  // 2^30, the paper's large size
+
+/// Thread count for the measured (native, this-host) sections of the
+/// counter tables — modest so the tables stay honest on small hosts.
+inline constexpr unsigned kMeasuredThreads = 4;
+
+/// Measured-counter harness for the Table 3/4 benches: runs `body(policy)`
+/// `reps` times inside one counters::region and returns the region result.
+/// With PSTLB_COUNTERS=perf the hw_* fields carry real instruction/cycle/
+/// cache counts aggregated over every worker thread; under sim/native they
+/// stay zero and callers print the wall-clock row only.
+template <class Policy, class Body>
+counters::counter_set measure_backend(const std::string& region_name, int reps,
+                                      Body&& body) {
+  Policy policy{kMeasuredThreads};
+  policy.seq_threshold = 0;
+  counters::region region(region_name);
+  for (int r = 0; r < reps; ++r) { body(policy); }
+  return region.stop();
+}
 
 /// Registers a gbench entry whose iteration time is the simulated seconds of
 /// one kernel call.

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "counters/counters.hpp"
+#include "pstlb/env.hpp"
 #include "pstlb/pstlb.hpp"
 
 namespace pstlb::bench {
@@ -50,8 +51,8 @@ void print_native_skeleton_comparison(std::ostream& os) {
   // 2^26 elements is the paper's "beyond LLC" regime and the size the scan
   // acceptance criterion targets; PSTLB_FIG5_NATIVE_LOG2 trims it for quick
   // runs on small hosts.
-  const unsigned max_log2 = env_unsigned("PSTLB_FIG5_NATIVE_LOG2", 26);
-  const int reps = static_cast<int>(env_unsigned("PSTLB_FIG5_NATIVE_REPS", 3));
+  const unsigned max_log2 = env::unsigned_or("PSTLB_FIG5_NATIVE_LOG2", 26);
+  const int reps = static_cast<int>(env::unsigned_or("PSTLB_FIG5_NATIVE_REPS", 3));
   table t("Figure 5 (native, this host): X::inclusive_scan two-pass vs "
           "decoupled-lookback skeleton [steal backend]");
   t.set_header({"size", "threads", "2-pass [s]", "lookback [s]", "speedup",

@@ -21,6 +21,7 @@
 
 #include "bench_core/report.hpp"
 #include "counters/counters.hpp"
+#include "pstlb/env.hpp"
 #include "pstlb/pstlb.hpp"
 #include "trace/sched_metrics.hpp"
 #include "trace/trace.hpp"
@@ -85,18 +86,27 @@ void report(std::ostream& os, const std::vector<backend_row>& rows, index_t n) {
 
   // The marker view: the same telemetry as optional sched columns next to
   // the Likwid-style region table (what PSTLB_WRAP_TIMING benches get).
+  // When a measuring counter provider is active (PSTLB_COUNTERS=perf), the
+  // measured hardware columns appear too, provider-labeled.
+  const bool with_hw = counters::active_kind() == counters::provider_kind::perf;
   table mt("Marker regions with scheduler columns");
   std::vector<std::string> header{"region", "calls", "seconds"};
   for (std::string& h : sched_headers()) { header.push_back(std::move(h)); }
+  if (with_hw) {
+    for (std::string& h : hw_headers()) { header.push_back(std::move(h)); }
+  }
   mt.set_header(std::move(header));
   for (const auto& [name, stats] : counters::marker_registry::instance().snapshot()) {
     std::vector<std::string> cells{name, std::to_string(stats.calls),
                                    fmt(stats.total.seconds, 4)};
     for (std::string& c : sched_cells(stats.total)) { cells.push_back(std::move(c)); }
+    if (with_hw) {
+      for (std::string& c : hw_cells(stats.total)) { cells.push_back(std::move(c)); }
+    }
     mt.add_row(cells);
   }
   mt.print(os);
-  if (const char* csv = std::getenv("PSTLB_CSV"); csv != nullptr && *csv == '1') {
+  if (env::truthy("PSTLB_CSV")) {
     t.print_csv(os);
   }
   os << "Reading: task_futures heap-spawns one task per chunk (the HPX-like\n"

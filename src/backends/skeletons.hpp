@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "backends/backend.hpp"
+#include "pstlb/env.hpp"
 
 namespace pstlb::backends {
 
@@ -93,11 +94,11 @@ index_t parallel_find(const B& be, index_t n, index_t grain, BlockFind&& block) 
 /// environment for ablation runs: PSTLB_SCAN_CHUNK sets the minimum chunk
 /// element count, PSTLB_SCAN_OVERSUB the chunks-per-slot factor.
 inline index_t default_scan_min_chunk() {
-  return static_cast<index_t>(env_unsigned("PSTLB_SCAN_CHUNK", 2048));
+  return static_cast<index_t>(env::unsigned_or("PSTLB_SCAN_CHUNK", 2048));
 }
 
 inline index_t default_scan_oversub() {
-  return static_cast<index_t>(env_unsigned("PSTLB_SCAN_OVERSUB", 4));
+  return static_cast<index_t>(env::unsigned_or("PSTLB_SCAN_OVERSUB", 4));
 }
 
 /// Chunk table used by the two-pass skeletons: fixed boundaries so both

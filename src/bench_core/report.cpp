@@ -92,6 +92,26 @@ std::vector<std::string> sched_cells(const counters::counter_set& s) {
           eng(s.sched_tasks_spawned), eng(s.sched_chunks)};
 }
 
+std::string tagged(std::string_view label, std::string_view provider) {
+  return std::string(label) + " [" + std::string(provider) + "]";
+}
+
+std::string_view provider_label() {
+  return counters::provider_name(counters::active_kind());
+}
+
+std::vector<std::string> hw_headers() {
+  const std::string_view p = provider_label();
+  return {tagged("hw instr", p), tagged("IPC", p), tagged("cache miss %", p),
+          "hw threads"};
+}
+
+std::vector<std::string> hw_cells(const counters::counter_set& s) {
+  if (!s.has_hw()) { return {"-", "-", "-", "-"}; }
+  return {eng(s.hw_instructions), fmt(s.ipc(), 2), fmt(100.0 * s.cache_miss_rate(), 1),
+          fmt(s.hw_threads, 0)};
+}
+
 std::string pow2_label(double n) {
   const double log = std::log2(n);
   const double rounded = std::round(log);

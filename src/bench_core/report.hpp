@@ -7,6 +7,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "counters/counters.hpp"
@@ -46,5 +47,19 @@ std::string pow2_label(double n);
 /// byte-identical to the paper layout.
 std::vector<std::string> sched_headers();
 std::vector<std::string> sched_cells(const counters::counter_set& s);
+
+/// Provenance labeling: every counter column says which provider produced
+/// it, so `sim` model output is never mistaken for hardware data.
+/// tagged("Instructions", "sim") -> "Instructions [sim]".
+std::string tagged(std::string_view label, std::string_view provider);
+/// The active provider's name ("sim" | "native" | "perf"), for table titles.
+std::string_view provider_label();
+
+/// Measured hardware-counter columns (counters/perf_provider): header labels
+/// tagged with the active provider and the matching cells (instructions,
+/// IPC, cache-miss %, thread groups). Empty cells when `s` carries no
+/// hardware data (passive provider or fallback).
+std::vector<std::string> hw_headers();
+std::vector<std::string> hw_cells(const counters::counter_set& s);
 
 }  // namespace pstlb::bench

@@ -16,6 +16,12 @@ counter_set& counter_set::operator+=(const counter_set& other) {
   sched_steals_failed += other.sched_steals_failed;
   sched_tasks_spawned += other.sched_tasks_spawned;
   sched_chunks += other.sched_chunks;
+  hw_instructions += other.hw_instructions;
+  hw_cycles += other.hw_cycles;
+  hw_cache_refs += other.hw_cache_refs;
+  hw_cache_misses += other.hw_cache_misses;
+  hw_stalled_cycles += other.hw_stalled_cycles;
+  hw_threads += other.hw_threads;
   return *this;
 }
 
@@ -30,12 +36,16 @@ thread_local std::vector<region*> tls_regions;
 
 void report_work(const counter_set& work);
 
-region::region(std::string_view name)
-    : name_(name), start_(std::chrono::steady_clock::now()) {
+region::region(std::string_view name) : name_(name) {
   if (trace::enabled()) {
     traced_ = true;
     sched_before_ = trace::totals();
   }
+  // The measuring thread joins the provider (workers attach at pool start);
+  // the baseline read is last so it never covers our own setup.
+  attach_thread();
+  hw_before_ = active_provider().read();
+  start_ = std::chrono::steady_clock::now();
   tls_regions.push_back(this);
 }
 
@@ -44,6 +54,17 @@ const counter_set& region::stop() {
     const auto end = std::chrono::steady_clock::now();
     result_ = accumulated_;
     result_.seconds = std::chrono::duration<double>(end - start_).count();
+    if (hw_before_.valid) {
+      const hw_totals hw = hw_delta(active_provider().read(), hw_before_);
+      if (hw.valid) {
+        result_.hw_instructions = hw.instructions;
+        result_.hw_cycles = hw.cycles;
+        result_.hw_cache_refs = hw.cache_refs;
+        result_.hw_cache_misses = hw.cache_misses;
+        result_.hw_stalled_cycles = hw.stalled_cycles;
+        result_.hw_threads = hw.threads;
+      }
+    }
     if (traced_ && trace::enabled()) {
       const trace::sched_totals now = trace::totals();
       auto d = [](std::uint64_t after, std::uint64_t before) {

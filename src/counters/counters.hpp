@@ -1,15 +1,17 @@
 // Hardware-performance-counter facade (PAPI high-level / Likwid Marker API
 // style, Section 3.2 of the paper).
 //
-// Two providers feed the same counter_set:
+// Three providers feed the same counter_set (PSTLB_COUNTERS=sim|native|perf,
+// see counters/provider.hpp):
 //   - native: wall-clock time from steady_clock plus software-accounted
-//     traffic/flops that instrumented kernels report via report_work(). On
-//     the paper's machines these fields came from PAPI/Likwid; in this
-//     container there is no PMU access, so the software accounting plays
-//     that role (and is exact for our deterministic kernels).
+//     traffic/flops that instrumented kernels report via report_work().
+//     Modeled accounting, exact for our deterministic kernels.
 //   - sim: the machine simulator fills a counter_set analytically
 //     (instructions, vector-width split, memory volume) — this is what the
-//     Table 3/4 benches print.
+//     Table 3/4 model columns print.
+//   - perf: measured counts from per-thread perf_event_open(2) groups
+//     (counters/perf_provider). Regions snapshot the aggregate before and
+//     after and store the delta in the hw_* fields below.
 //
 // Regions follow the Likwid Marker discipline: counters cover only the
 // wrapped STL call, never setup or data shuffling.
@@ -23,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "counters/provider.hpp"
 #include "trace/trace.hpp"
 
 namespace pstlb::counters {
@@ -43,7 +46,27 @@ struct counter_set {
   double sched_tasks_spawned = 0;
   double sched_chunks = 0;
 
+  // Measured hardware counters (counters/provider): filled by regions when
+  // the active provider measures (PSTLB_COUNTERS=perf), summed over every
+  // attached thread and multiplex-scaled. Zero under sim/native, where the
+  // modeled `instructions` field above is the only instruction count.
+  double hw_instructions = 0;
+  double hw_cycles = 0;
+  double hw_cache_refs = 0;
+  double hw_cache_misses = 0;
+  double hw_stalled_cycles = 0;
+  double hw_threads = 0;  // thread groups sampled (summed across +=)
+
   counter_set& operator+=(const counter_set& other);
+
+  /// True when a measuring provider filled the hw_* fields.
+  bool has_hw() const { return hw_instructions > 0 || hw_cycles > 0; }
+  /// Instructions per cycle; 0 without cycle data.
+  double ipc() const { return hw_cycles > 0 ? hw_instructions / hw_cycles : 0; }
+  /// Cache misses per reference; 0 without reference data.
+  double cache_miss_rate() const {
+    return hw_cache_refs > 0 ? hw_cache_misses / hw_cache_refs : 0;
+  }
 
   /// Total FLOPs counting packed lanes (2 per 128-bit, 4 per 256-bit op).
   double flops() const { return fp_scalar + 2 * fp_128 + 4 * fp_256; }
@@ -69,7 +92,9 @@ void report_work(const counter_set& work);
 /// RAII measurement region (the hw_counters_begin/end pair of Listing 4).
 /// While PSTLB_TRACE is on, a region also captures the process-wide
 /// scheduler-telemetry delta (steals, spawns, chunks) between construction
-/// and stop() into the sched_* fields of its result.
+/// and stop() into the sched_* fields of its result. When the active
+/// counter provider measures (PSTLB_COUNTERS=perf), the region likewise
+/// captures the aggregate hardware-counter delta into the hw_* fields.
 class region {
  public:
   explicit region(std::string_view name);
@@ -90,6 +115,7 @@ class region {
   counter_set accumulated_;  // work reported while active
   counter_set result_;
   trace::sched_totals sched_before_;  // telemetry baseline (tracing only)
+  hw_totals hw_before_;               // hardware baseline (measuring providers)
   bool traced_ = false;
   bool stopped_ = false;
 };

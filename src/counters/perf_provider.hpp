@@ -1,0 +1,73 @@
+// Hardware performance-counter provider backed by perf_event_open(2).
+//
+// What PAPI/Likwid did for the paper's Tables 3/4, done directly against the
+// kernel API: each worker thread opens one per-thread event group —
+// instructions (leader), cycles, cache references, cache misses, and
+// stalled-cycles-frontend where the PMU exposes it — and the measuring
+// thread sums everybody's group with plain read(2) calls around a
+// counters::region. Groups use
+//   PERF_FORMAT_GROUP | TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING
+// so one syscall returns every event plus the multiplexing times; counts are
+// scaled by time_enabled/time_running (perf_scale below) when the PMU had to
+// time-slice more groups than it has counters.
+//
+// Availability is probed once: perf_event_open may be missing (non-Linux),
+// blocked (seccomp in containers -> ENOSYS/EPERM), or restricted
+// (/proc/sys/kernel/perf_event_paranoid > 2 -> EACCES). The provider then
+// reports unavailable and counters/provider falls back to native with a
+// warning — never an abort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "counters/provider.hpp"
+
+namespace pstlb::counters {
+
+/// Multiplexing scale correction: extrapolates a time-sliced count to the
+/// full enabled window, `value * time_enabled / time_running`. A counter
+/// that never ran (running == 0) yields 0 — there is nothing to
+/// extrapolate from.
+double perf_scale(std::uint64_t value, std::uint64_t time_enabled,
+                  std::uint64_t time_running) noexcept;
+
+class perf_provider final : public provider {
+ public:
+  perf_provider();
+  ~perf_provider() override;
+
+  perf_provider(const perf_provider&) = delete;
+  perf_provider& operator=(const perf_provider&) = delete;
+
+  provider_kind kind() const noexcept override { return provider_kind::perf; }
+
+  /// Opens this thread's event group and registers it for read(). Safe to
+  /// call repeatedly; only the first call per thread does work.
+  void attach_current_thread() override;
+
+  /// Sums every attached thread's multiplex-scaled counts. One read(2) per
+  /// thread group; callable from any thread.
+  hw_totals read() override;
+
+  /// True when the availability probe managed to open a counter.
+  bool available() const noexcept { return available_; }
+  /// Human-readable reason when unavailable ("perf_event_open: EACCES
+  /// (perf_event_paranoid=3)" style).
+  const std::string& unavailable_reason() const noexcept { return reason_; }
+
+  /// Probe without constructing a provider (CI and tests use this to decide
+  /// between the measuring and fallback paths).
+  static bool probe(std::string* reason = nullptr);
+
+  /// Number of registered per-thread groups (tests).
+  unsigned attached_threads();
+
+ private:
+  void start_sampler_if_traced();
+
+  bool available_ = false;
+  std::string reason_;
+};
+
+}  // namespace pstlb::counters

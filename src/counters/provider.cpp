@@ -1,0 +1,121 @@
+#include "counters/provider.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "counters/perf_provider.hpp"
+#include "pstlb/env.hpp"
+
+namespace pstlb::counters {
+
+std::string_view provider_name(provider_kind k) noexcept {
+  switch (k) {
+    case provider_kind::sim: return "sim";
+    case provider_kind::native: return "native";
+    case provider_kind::perf: return "perf";
+  }
+  return "unknown";
+}
+
+provider_kind parse_provider(std::string_view value, bool* unknown) noexcept {
+  if (unknown != nullptr) { *unknown = false; }
+  if (value == "sim") { return provider_kind::sim; }
+  if (value == "native" || value.empty()) { return provider_kind::native; }
+  if (value == "perf") { return provider_kind::perf; }
+  if (unknown != nullptr) { *unknown = true; }
+  return provider_kind::native;
+}
+
+hw_totals hw_delta(const hw_totals& a, const hw_totals& b) noexcept {
+  auto sat = [](double x, double y) { return x > y ? x - y : 0.0; };
+  hw_totals d;
+  d.instructions = sat(a.instructions, b.instructions);
+  d.cycles = sat(a.cycles, b.cycles);
+  d.cache_refs = sat(a.cache_refs, b.cache_refs);
+  d.cache_misses = sat(a.cache_misses, b.cache_misses);
+  d.stalled_cycles = sat(a.stalled_cycles, b.stalled_cycles);
+  d.threads = a.threads;
+  d.valid = a.valid && b.valid;
+  return d;
+}
+
+namespace {
+
+class passive_provider final : public provider {
+ public:
+  explicit passive_provider(provider_kind k) : kind_(k) {}
+  provider_kind kind() const noexcept override { return kind_; }
+
+ private:
+  provider_kind kind_;
+};
+
+passive_provider g_sim{provider_kind::sim};
+passive_provider g_native{provider_kind::native};
+
+// The perf provider is created at most once per process (its event groups
+// and sampler must be singletons) and intentionally leaked: worker threads
+// may still read their groups during static destruction.
+perf_provider& perf_instance() {
+  static perf_provider* p = new perf_provider();
+  return *p;
+}
+
+provider* select(provider_kind requested) {
+  switch (requested) {
+    case provider_kind::sim: return &g_sim;
+    case provider_kind::native: return &g_native;
+    case provider_kind::perf: break;
+  }
+  perf_provider& perf = perf_instance();
+  if (perf.available()) { return &perf; }
+  std::fprintf(stderr,
+               "pstlb: PSTLB_COUNTERS=perf but perf_event_open is unavailable (%s); "
+               "falling back to the native provider\n",
+               perf.unavailable_reason().c_str());
+  return &g_native;
+}
+
+provider* select_from_env() {
+  env::warn_unknown_once();
+  const std::string raw = env::string_or("PSTLB_COUNTERS", "native");
+  bool unknown = false;
+  const provider_kind requested = parse_provider(raw, &unknown);
+  if (unknown) {
+    std::fprintf(stderr,
+                 "pstlb: PSTLB_COUNTERS=%s is not a provider (sim|native|perf); "
+                 "using native\n",
+                 raw.c_str());
+  }
+  return select(requested);
+}
+
+std::atomic<provider*>& active_slot() {
+  static std::atomic<provider*> slot{select_from_env()};
+  return slot;
+}
+
+}  // namespace
+
+provider& active_provider() {
+  return *active_slot().load(std::memory_order_acquire);
+}
+
+provider_kind active_kind() { return active_provider().kind(); }
+
+void attach_thread() {
+  // Re-attach when the provider changed (the testing hook); a provider's own
+  // attach_current_thread() is idempotent, this just skips the virtual call
+  // on the per-region fast path.
+  thread_local const provider* attached_to = nullptr;
+  provider& p = active_provider();
+  if (attached_to == &p) { return; }
+  attached_to = &p;
+  p.attach_current_thread();
+}
+
+void select_provider_for_testing(provider_kind kind) {
+  active_slot().store(select(kind), std::memory_order_release);
+}
+
+}  // namespace pstlb::counters

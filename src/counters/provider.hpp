@@ -1,0 +1,84 @@
+// Counter-provider facade: where a counters::region gets its numbers from.
+//
+// The paper measures backend overheads with hardware counters (PAPI/Likwid,
+// Tables 3/4). This repo has three sources for those numbers, selected at
+// runtime with PSTLB_COUNTERS=sim|native|perf:
+//   - sim:    the machine simulator fills counter_sets analytically; regions
+//             measure wall clock + software-accounted work only.
+//   - native: wall clock + software accounting (the default; exact for our
+//             deterministic kernels, but modeled, not measured).
+//   - perf:   per-thread perf_event_open(2) groups (counters/perf_provider)
+//             measuring real instructions/cycles/cache traffic; regions
+//             aggregate the per-thread deltas into counter_set hw_* fields.
+//
+// Fallback ladder (never abort): perf requested but perf_event_open denied
+// (perf_event_paranoid, seccomp, non-Linux) -> one stderr warning -> native.
+// Unknown PSTLB_COUNTERS values also warn and select native.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pstlb::counters {
+
+enum class provider_kind { sim, native, perf };
+
+std::string_view provider_name(provider_kind k) noexcept;
+
+/// Parses a PSTLB_COUNTERS value ("sim" | "native" | "perf", lowercase).
+/// Unknown strings select native and set *unknown when given.
+provider_kind parse_provider(std::string_view value, bool* unknown = nullptr) noexcept;
+
+/// One aggregated hardware sample: the sum of every attached thread's
+/// multiplex-scaled event-group counts. Monotonic over the process lifetime
+/// (threads only ever add groups; an exited thread's counts freeze), so a
+/// measurement window is the difference of two reads.
+struct hw_totals {
+  double instructions = 0;
+  double cycles = 0;
+  double cache_refs = 0;
+  double cache_misses = 0;
+  double stalled_cycles = 0;
+  unsigned threads = 0;  // event groups contributing to this sample
+  bool valid = false;    // false for passive providers (sim/native)
+};
+
+/// Per-field saturating difference `a - b` (never negative; `threads` and
+/// `valid` come from `a`).
+hw_totals hw_delta(const hw_totals& a, const hw_totals& b) noexcept;
+
+/// A counter source. Passive providers (sim/native) keep the no-op
+/// defaults; measuring providers own per-thread state created by
+/// attach_current_thread() and summed by read().
+class provider {
+ public:
+  virtual ~provider() = default;
+  virtual provider_kind kind() const noexcept = 0;
+
+  /// Creates this thread's measurement state (worker pools call it at
+  /// thread start; regions call it for the measuring thread). Idempotent
+  /// per thread; must be cheap when already attached.
+  virtual void attach_current_thread() {}
+
+  /// Sums the current counts of every attached thread. Callable from any
+  /// thread, concurrently with attaches.
+  virtual hw_totals read() { return {}; }
+};
+
+/// The process-wide provider selected by PSTLB_COUNTERS on first use
+/// (default native, fallback ladder above). Thread-safe.
+provider& active_provider();
+provider_kind active_kind();
+
+/// Attaches the calling thread to the active provider, once per thread per
+/// provider. Scheduler pools call this at worker start; counters::region
+/// calls it for the measuring thread.
+void attach_thread();
+
+/// Testing hook: re-runs selection as if PSTLB_COUNTERS were `kind`,
+/// including the perf->native fallback when perf is unavailable. Only
+/// threads that attach afterwards (plus region-measuring threads) join a
+/// newly selected measuring provider.
+void select_provider_for_testing(provider_kind kind);
+
+}  // namespace pstlb::counters

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "counters/provider.hpp"
 #include "trace/trace.hpp"
 
 namespace pstlb::sched {
@@ -76,6 +77,8 @@ bool task_queue_pool::run_one(std::unique_lock<std::mutex>& lock) {
 void task_queue_pool::worker_main(unsigned slot) {
   tls_slot = slot;
   trace::set_thread_label("task_queue worker " + std::to_string(slot));
+  // Per-worker hardware-counter group (no-op for sim/native providers).
+  counters::attach_thread();
   std::unique_lock lock(mutex_);
   for (;;) {
     // Unlock around the timestamp: span_begin is cheap but there is no

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "counters/provider.hpp"
+
 namespace pstlb::sched {
 
 thread_pool::thread_pool(unsigned workers, std::string name, trace::pool_id pool)
@@ -62,6 +64,9 @@ void thread_pool::run(unsigned threads, const region_fn& fn) {
 
 void thread_pool::worker_main(unsigned tid) {
   trace::set_thread_label(name_ + " worker " + std::to_string(tid));
+  // Hardware-counter providers measure per thread: open this worker's event
+  // group before it can execute any region work (no-op for sim/native).
+  counters::attach_thread();
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const region_fn* job = nullptr;

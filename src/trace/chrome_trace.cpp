@@ -1,9 +1,11 @@
 #include "trace/chrome_trace.hpp"
 
-#include <cstdlib>
+#include <cmath>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
+#include "pstlb/env.hpp"
 #include "trace/trace.hpp"
 
 namespace pstlb::trace {
@@ -61,6 +63,17 @@ void write_json_string(std::ostream& os, const std::string& s) {
   os << '"';
 }
 
+/// JSON number formatting for counter values: finite, fixed notation (the
+/// trace_event parser dislikes exponents of extreme magnitude), NaN/inf
+/// clamped to 0.
+void write_counter_value(std::ostream& os, double v) {
+  if (!std::isfinite(v)) { v = 0; }
+  std::ostringstream ss;
+  ss.precision(3);
+  ss << std::fixed << v;
+  os << ss.str();
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& os) {
@@ -81,6 +94,21 @@ void write_chrome_trace(std::ostream& os) {
       write_event(os, e, tid);
     }
   }
+  // Counter tracks ("C" events): same pid as the span tracks so Perfetto
+  // shows the hardware-counter time series directly above the workers.
+  for (const auto& [name, samples] : counter_series()) {
+    for (const counter_sample& s : samples) {
+      if (!first) { os << ','; }
+      first = false;
+      os << "{\"name\":";
+      write_json_string(os, name);
+      os << ",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":";
+      write_us(os, s.ts_ns);
+      os << ",\"args\":{\"value\":";
+      write_counter_value(os, s.value);
+      os << "}}";
+    }
+  }
   os << "]}\n";
   os.flush();
 }
@@ -93,8 +121,8 @@ bool write_chrome_trace_file(const std::string& path) {
 }
 
 bool export_to_env_file() {
-  const char* path = std::getenv("PSTLB_TRACE_FILE");
-  if (path == nullptr || *path == '\0') { return false; }
+  const std::string path = env::string_or("PSTLB_TRACE_FILE", "");
+  if (path.empty()) { return false; }
   return write_chrome_trace_file(path);
 }
 

@@ -3,8 +3,9 @@
 #include <bit>
 #include <chrono>
 #include <cstdlib>
-#include <cstring>
+#include <map>
 
+#include "pstlb/env.hpp"
 #include "trace/chrome_trace.hpp"
 
 namespace pstlb::trace {
@@ -26,15 +27,10 @@ std::uint64_t epoch_ns() {
 
 std::size_t configured_capacity() {
   static const std::size_t capacity = [] {
-    const unsigned raw = env_unsigned("PSTLB_TRACE_RING", 0);
+    const unsigned raw = env::unsigned_or("PSTLB_TRACE_RING", 0);
     return raw == 0 ? std::size_t{1} << 14 : static_cast<std::size_t>(raw);
   }();
   return capacity;
-}
-
-bool env_truthy(const char* name) {
-  const char* raw = std::getenv(name);
-  return raw != nullptr && *raw != '\0' && std::strcmp(raw, "0") != 0;
 }
 
 std::size_t hist_bucket(std::uint64_t elems) {
@@ -49,15 +45,27 @@ std::size_t hist_bucket(std::uint64_t elems) {
 struct env_init {
   env_init() {
     epoch_ns();  // pin the epoch before any worker races to it
-    if (env_truthy("PSTLB_TRACE")) {
+    env::warn_unknown_once();
+    if (env::truthy("PSTLB_TRACE")) {
       detail::g_enabled.store(true, std::memory_order_relaxed);
     }
-    if (std::getenv("PSTLB_TRACE_FILE") != nullptr) {
+    if (!env::string_or("PSTLB_TRACE_FILE", "").empty()) {
       std::atexit([] { export_to_env_file(); });
     }
   }
 };
 env_init g_env_init;
+
+// Counter-track sample store. Guarded + leaked like the ring registry: the
+// at-exit exporter reads it after static destruction began.
+struct sample_store {
+  std::mutex mutex;
+  std::map<std::string, std::vector<counter_sample>> series;
+};
+sample_store& samples() {
+  static sample_store* s = new sample_store;
+  return *s;
+}
 
 }  // namespace
 
@@ -152,6 +160,23 @@ std::uint64_t now_ns() noexcept { return steady_now_raw() - epoch_ns(); }
 
 void set_thread_label(std::string_view label) {
   local_ring().set_label(std::string(label));
+}
+
+void record_counter_sample(std::string_view series, double value) {
+  if (!enabled()) { return; }
+  const std::uint64_t ts = now_ns();
+  sample_store& store = samples();
+  std::lock_guard lock(store.mutex);
+  store.series[std::string(series)].push_back(counter_sample{ts, value});
+}
+
+std::vector<std::pair<std::string, std::vector<counter_sample>>> counter_series() {
+  sample_store& store = samples();
+  std::lock_guard lock(store.mutex);
+  std::vector<std::pair<std::string, std::vector<counter_sample>>> out;
+  out.reserve(store.series.size());
+  for (const auto& [name, values] : store.series) { out.emplace_back(name, values); }
+  return out;
 }
 
 sched_totals totals() noexcept {

@@ -35,6 +35,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "pstlb/common.hpp"
@@ -228,6 +229,24 @@ struct sched_totals {
   std::uint64_t chunks = 0;
 };
 sched_totals totals() noexcept;
+
+/// Perfetto counter-track samples: low-rate time series shown as value
+/// tracks next to the span tracks ("ph":"C" in the Chrome-trace export).
+/// The hardware-counter provider's sampler feeds these (instructions/s,
+/// IPC, cache-miss rate) while tracing is on. Unlike ring events the store
+/// is append-only and mutex-guarded — writers are ~100 Hz samplers, never
+/// scheduler hot paths.
+struct counter_sample {
+  std::uint64_t ts_ns = 0;  // process trace epoch, as for events
+  double value = 0;
+};
+
+/// Appends a sample to `series` (timestamped now). No-op while tracing is
+/// off.
+void record_counter_sample(std::string_view series, double value);
+
+/// Snapshot of every series, name-ordered.
+std::vector<std::pair<std::string, std::vector<counter_sample>>> counter_series();
 
 /// Human-readable names for exporters.
 std::string_view kind_name(event_kind k) noexcept;

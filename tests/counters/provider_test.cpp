@@ -1,0 +1,280 @@
+// Unit and integration coverage for the counter-provider layer:
+// multiplexing scale correction, PSTLB_COUNTERS parsing, monotonic-delta
+// math, counter_set hardware-field aggregation, and (where the host
+// permits perf_event_open) a real end-to-end measurement.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "counters/counters.hpp"
+#include "counters/perf_provider.hpp"
+#include "counters/provider.hpp"
+
+namespace pstlb::counters {
+namespace {
+
+// -------------------------------------------------------------------------
+// perf_scale: value * time_enabled / time_running.
+
+TEST(PerfScale, NoMultiplexingReturnsValueExactly) {
+  EXPECT_DOUBLE_EQ(perf_scale(100, 1000, 1000), 100.0);
+  EXPECT_DOUBLE_EQ(perf_scale(0, 1000, 1000), 0.0);
+}
+
+TEST(PerfScale, HalfTimeRunningDoublesTheCount) {
+  EXPECT_DOUBLE_EQ(perf_scale(100, 1000, 500), 200.0);
+  EXPECT_DOUBLE_EQ(perf_scale(300, 900, 300), 900.0);
+}
+
+TEST(PerfScale, NeverRanYieldsZero) {
+  EXPECT_DOUBLE_EQ(perf_scale(100, 1000, 0), 0.0);
+  EXPECT_DOUBLE_EQ(perf_scale(0, 0, 0), 0.0);
+}
+
+TEST(PerfScale, RunningAtLeastEnabledNeverScalesDown) {
+  // Clock-granularity jitter can report running marginally above enabled;
+  // the raw count is already complete, so no correction applies.
+  EXPECT_DOUBLE_EQ(perf_scale(100, 1000, 1001), 100.0);
+}
+
+TEST(PerfScale, LargeCountsSurviveTheDoubleRoundTrip) {
+  // 2^53-scale instruction counts with a 4:1 multiplex ratio.
+  const std::uint64_t v = std::uint64_t{1} << 50;
+  EXPECT_DOUBLE_EQ(perf_scale(v, 4000, 1000), static_cast<double>(v) * 4.0);
+}
+
+// -------------------------------------------------------------------------
+// PSTLB_COUNTERS parsing.
+
+TEST(ParseProvider, KnownNames) {
+  EXPECT_EQ(parse_provider("sim"), provider_kind::sim);
+  EXPECT_EQ(parse_provider("native"), provider_kind::native);
+  EXPECT_EQ(parse_provider("perf"), provider_kind::perf);
+}
+
+TEST(ParseProvider, EmptyDefaultsToNativeWithoutFlagging) {
+  bool unknown = true;
+  EXPECT_EQ(parse_provider("", &unknown), provider_kind::native);
+  EXPECT_FALSE(unknown);
+}
+
+TEST(ParseProvider, UnknownFlagsAndFallsBackToNative) {
+  bool unknown = false;
+  EXPECT_EQ(parse_provider("papi", &unknown), provider_kind::native);
+  EXPECT_TRUE(unknown);
+  unknown = false;
+  EXPECT_EQ(parse_provider("PERF", &unknown), provider_kind::native);
+  EXPECT_TRUE(unknown);  // values are lowercase by contract
+}
+
+TEST(ProviderName, RoundTripsEveryKind) {
+  EXPECT_EQ(provider_name(provider_kind::sim), "sim");
+  EXPECT_EQ(provider_name(provider_kind::native), "native");
+  EXPECT_EQ(provider_name(provider_kind::perf), "perf");
+}
+
+// -------------------------------------------------------------------------
+// hw_totals delta math.
+
+TEST(HwDelta, SubtractsPerField) {
+  hw_totals a;
+  a.instructions = 1000;
+  a.cycles = 2000;
+  a.cache_refs = 300;
+  a.cache_misses = 30;
+  a.stalled_cycles = 150;
+  a.threads = 4;
+  a.valid = true;
+  hw_totals b;
+  b.instructions = 400;
+  b.cycles = 500;
+  b.cache_refs = 100;
+  b.cache_misses = 10;
+  b.stalled_cycles = 50;
+  b.threads = 2;
+  b.valid = true;
+  const hw_totals d = hw_delta(a, b);
+  EXPECT_DOUBLE_EQ(d.instructions, 600.0);
+  EXPECT_DOUBLE_EQ(d.cycles, 1500.0);
+  EXPECT_DOUBLE_EQ(d.cache_refs, 200.0);
+  EXPECT_DOUBLE_EQ(d.cache_misses, 20.0);
+  EXPECT_DOUBLE_EQ(d.stalled_cycles, 100.0);
+  EXPECT_EQ(d.threads, 4u);  // threads come from the later sample
+  EXPECT_TRUE(d.valid);
+}
+
+TEST(HwDelta, SaturatesAtZeroInsteadOfGoingNegative) {
+  // Multiplex scaling estimates can jitter a later sample slightly below an
+  // earlier one; a window must never report negative work.
+  hw_totals a;
+  a.instructions = 90;
+  a.valid = true;
+  hw_totals b;
+  b.instructions = 100;
+  b.valid = true;
+  EXPECT_DOUBLE_EQ(hw_delta(a, b).instructions, 0.0);
+}
+
+TEST(HwDelta, InvalidSampleInvalidatesTheWindow) {
+  hw_totals a;
+  a.valid = true;
+  hw_totals b;  // valid = false (passive provider)
+  EXPECT_FALSE(hw_delta(a, b).valid);
+  EXPECT_FALSE(hw_delta(b, a).valid);
+}
+
+// -------------------------------------------------------------------------
+// counter_set aggregation of hw_* fields (marker_registry folds repeated
+// region results with operator+=).
+
+TEST(CounterSetHw, OperatorPlusEqualsSumsHardwareFields) {
+  counter_set a;
+  a.hw_instructions = 1000;
+  a.hw_cycles = 500;
+  a.hw_cache_refs = 100;
+  a.hw_cache_misses = 10;
+  a.hw_stalled_cycles = 60;
+  a.hw_threads = 4;
+  counter_set b = a;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.hw_instructions, 2000.0);
+  EXPECT_DOUBLE_EQ(a.hw_cycles, 1000.0);
+  EXPECT_DOUBLE_EQ(a.hw_cache_refs, 200.0);
+  EXPECT_DOUBLE_EQ(a.hw_cache_misses, 20.0);
+  EXPECT_DOUBLE_EQ(a.hw_stalled_cycles, 120.0);
+  EXPECT_DOUBLE_EQ(a.hw_threads, 8.0);
+}
+
+TEST(CounterSetHw, DerivedMetrics) {
+  counter_set s;
+  EXPECT_FALSE(s.has_hw());
+  EXPECT_DOUBLE_EQ(s.ipc(), 0.0);              // no division by zero
+  EXPECT_DOUBLE_EQ(s.cache_miss_rate(), 0.0);  // ditto
+  s.hw_instructions = 3000;
+  s.hw_cycles = 1500;
+  s.hw_cache_refs = 200;
+  s.hw_cache_misses = 50;
+  EXPECT_TRUE(s.has_hw());
+  EXPECT_DOUBLE_EQ(s.ipc(), 2.0);
+  EXPECT_DOUBLE_EQ(s.cache_miss_rate(), 0.25);
+}
+
+TEST(CounterSetHw, AggregationAcrossThreadsViaMarkerFold) {
+  // Simulates what marker_registry does when N worker threads each
+  // contribute a region result under the same marker name.
+  std::vector<counter_set> per_thread(4);
+  for (std::size_t i = 0; i < per_thread.size(); ++i) {
+    per_thread[i].hw_instructions = 100.0 * static_cast<double>(i + 1);
+    per_thread[i].hw_cycles = 50.0 * static_cast<double>(i + 1);
+    per_thread[i].hw_threads = 1;
+  }
+  counter_set total;
+  for (const counter_set& s : per_thread) { total += s; }
+  EXPECT_DOUBLE_EQ(total.hw_instructions, 1000.0);
+  EXPECT_DOUBLE_EQ(total.hw_cycles, 500.0);
+  EXPECT_DOUBLE_EQ(total.hw_threads, 4.0);
+  EXPECT_DOUBLE_EQ(total.ipc(), 2.0);
+}
+
+// -------------------------------------------------------------------------
+// Provider selection plumbing (host-independent).
+
+TEST(ProviderSelection, TestingHookSwitchesActiveKind) {
+  const provider_kind before = active_kind();
+  select_provider_for_testing(provider_kind::sim);
+  EXPECT_EQ(active_kind(), provider_kind::sim);
+  // Passive providers return invalid samples: regions skip the hw fields.
+  EXPECT_FALSE(active_provider().read().valid);
+  select_provider_for_testing(provider_kind::native);
+  EXPECT_EQ(active_kind(), provider_kind::native);
+  select_provider_for_testing(before);
+}
+
+TEST(ProviderSelection, PerfRequestFallsBackWhenUnavailable) {
+  const provider_kind before = active_kind();
+  select_provider_for_testing(provider_kind::perf);
+  if (perf_provider::probe()) {
+    EXPECT_EQ(active_kind(), provider_kind::perf);
+  } else {
+    EXPECT_EQ(active_kind(), provider_kind::native);  // graceful fallback
+  }
+  select_provider_for_testing(before);
+}
+
+// -------------------------------------------------------------------------
+// Integration: real measurement when the host allows perf_event_open.
+
+volatile double g_spin_sink = 0;
+
+void spin_work() {
+  double acc = 0;
+  for (int i = 0; i < 2'000'000; ++i) { acc += static_cast<double>(i) * 1e-9; }
+  g_spin_sink = acc;
+}
+
+TEST(PerfIntegration, RegionMeasuresNonzeroMonotonicInstructionCounts) {
+  std::string reason;
+  if (!perf_provider::probe(&reason)) {
+    GTEST_SKIP() << "perf_event_open unavailable on this host: " << reason;
+  }
+  const provider_kind before = active_kind();
+  select_provider_for_testing(provider_kind::perf);
+  ASSERT_EQ(active_kind(), provider_kind::perf);
+
+  counter_set first;
+  {
+    region r("provider_test/spin");
+    spin_work();
+    first = r.stop();
+  }
+  EXPECT_TRUE(first.has_hw());
+  EXPECT_GT(first.hw_instructions, 0.0);
+  EXPECT_GT(first.hw_cycles, 0.0);
+  EXPECT_GE(first.hw_threads, 1.0);
+
+  // Raw provider reads are monotonic: groups accumulate, never reset.
+  const hw_totals a = active_provider().read();
+  spin_work();
+  const hw_totals b = active_provider().read();
+  ASSERT_TRUE(a.valid);
+  ASSERT_TRUE(b.valid);
+  EXPECT_GE(b.instructions, a.instructions);
+  EXPECT_GE(b.cycles, a.cycles);
+  EXPECT_GT(hw_delta(b, a).instructions, 0.0);
+
+  select_provider_for_testing(before);
+}
+
+TEST(PerfIntegration, WorkerThreadsAttachAndContribute) {
+  if (!perf_provider::probe()) {
+    GTEST_SKIP() << "perf_event_open unavailable on this host";
+  }
+  const provider_kind before = active_kind();
+  select_provider_for_testing(provider_kind::perf);
+
+  const hw_totals base = active_provider().read();
+  std::atomic<int> done{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      attach_thread();
+      spin_work();
+      done.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) { t.join(); }
+  EXPECT_EQ(done.load(), 2);
+
+  const hw_totals after = active_provider().read();
+  ASSERT_TRUE(after.valid);
+  EXPECT_GT(after.threads, base.threads);
+  EXPECT_GT(hw_delta(after, base).instructions, 0.0);
+
+  select_provider_for_testing(before);
+}
+
+}  // namespace
+}  // namespace pstlb::counters

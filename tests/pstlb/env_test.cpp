@@ -1,0 +1,124 @@
+// The PSTLB_* environment registry: accessor semantics and the
+// unknown-variable (typo) detector.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "pstlb/env.hpp"
+
+namespace pstlb::env {
+namespace {
+
+class EnvVar {
+ public:
+  EnvVar(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~EnvVar() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(EnvAccessors, UnsignedOr) {
+  EXPECT_EQ(unsigned_or("PSTLB_TEST_UNSET_12345", 7u), 7u);
+  {
+    EnvVar v("PSTLB_TEST_U", "42");
+    EXPECT_EQ(unsigned_or("PSTLB_TEST_U", 7u), 42u);
+  }
+  {
+    EnvVar v("PSTLB_TEST_U", "");
+    EXPECT_EQ(unsigned_or("PSTLB_TEST_U", 7u), 7u);
+  }
+  {
+    EnvVar v("PSTLB_TEST_U", "banana");
+    EXPECT_EQ(unsigned_or("PSTLB_TEST_U", 7u), 7u);
+  }
+}
+
+TEST(EnvAccessors, Truthy) {
+  EXPECT_FALSE(truthy("PSTLB_TEST_UNSET_12345"));
+  {
+    EnvVar v("PSTLB_TEST_T", "1");
+    EXPECT_TRUE(truthy("PSTLB_TEST_T"));
+  }
+  {
+    EnvVar v("PSTLB_TEST_T", "0");
+    EXPECT_FALSE(truthy("PSTLB_TEST_T"));
+  }
+  {
+    EnvVar v("PSTLB_TEST_T", "");
+    EXPECT_FALSE(truthy("PSTLB_TEST_T"));
+  }
+}
+
+TEST(EnvAccessors, StringOr) {
+  EXPECT_EQ(string_or("PSTLB_TEST_UNSET_12345", "dflt"), "dflt");
+  {
+    EnvVar v("PSTLB_TEST_S", "trace.json");
+    EXPECT_EQ(string_or("PSTLB_TEST_S", "dflt"), "trace.json");
+  }
+  {
+    EnvVar v("PSTLB_TEST_S", "");
+    EXPECT_EQ(string_or("PSTLB_TEST_S", "dflt"), "dflt");
+  }
+}
+
+TEST(KnownVars, SortedAndCoversTheDocumentedKnobs) {
+  const auto& vars = known_vars();
+  EXPECT_TRUE(std::is_sorted(vars.begin(), vars.end()));
+  for (const char* expected :
+       {"PSTLB_COUNTERS", "PSTLB_COUNTER_SAMPLE_MS", "PSTLB_CSV",
+        "PSTLB_TRACE", "PSTLB_TRACE_FILE", "PSTLB_TRACE_RING",
+        "PSTLB_SCAN_CHUNK", "PSTLB_SCAN_OVERSUB"}) {
+    EXPECT_NE(std::find(vars.begin(), vars.end(), expected), vars.end())
+        << expected << " missing from known_vars()";
+  }
+}
+
+TEST(CheckNames, KnownVariablesPass) {
+  const auto unknown =
+      check_names({"PSTLB_TRACE", "PSTLB_COUNTERS", "PSTLB_SCAN_CHUNK"});
+  EXPECT_TRUE(unknown.empty());
+}
+
+TEST(CheckNames, NonPstlbNamesAreIgnored) {
+  const auto unknown =
+      check_names({"PATH", "HOME", "OMP_NUM_THREADS", "PSTL_NUM_THREADS"});
+  EXPECT_TRUE(unknown.empty());
+}
+
+TEST(CheckNames, TypoGetsANearestMatchSuggestion) {
+  const auto unknown = check_names({"PSTLB_TRCE"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0].name, "PSTLB_TRCE");
+  EXPECT_EQ(unknown[0].suggestion, "PSTLB_TRACE");
+}
+
+TEST(CheckNames, CaseSlipStillSuggests) {
+  const auto unknown = check_names({"PSTLB_Counters"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0].suggestion, "PSTLB_COUNTERS");
+}
+
+TEST(CheckNames, FarFromEverythingGetsNoSuggestion) {
+  const auto unknown = check_names({"PSTLB_ZZZZZZZZZZ"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_TRUE(unknown[0].suggestion.empty());
+}
+
+TEST(CheckNames, MixedListFlagsOnlyTheUnknowns) {
+  const auto unknown = check_names(
+      {"PSTLB_TRACE", "PSTLB_COUNTER", "HOME", "PSTLB_CSV", "PSTLB_TRACE_FIL"});
+  ASSERT_EQ(unknown.size(), 2u);
+  EXPECT_EQ(unknown[0].name, "PSTLB_COUNTER");
+  EXPECT_EQ(unknown[0].suggestion, "PSTLB_COUNTERS");
+  EXPECT_EQ(unknown[1].name, "PSTLB_TRACE_FIL");
+  EXPECT_EQ(unknown[1].suggestion, "PSTLB_TRACE_FILE");
+}
+
+}  // namespace
+}  // namespace pstlb::env
