@@ -11,21 +11,29 @@
 //
 // Without arguments it prints usage plus a small native demo (exit 0), so
 // it is safe to run in bulk alongside the figure/table binaries.
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "backends/backend_registry.hpp"
 #include "bench_core/generators.hpp"
 #include "bench_core/report.hpp"
 #include "counters/counters.hpp"
+#include "pstlb/fault.hpp"
 #include "pstlb/pstlb.hpp"
 #include "sim/run.hpp"
 
@@ -33,7 +41,7 @@ namespace pstlb::cli {
 namespace {
 
 struct options {
-  std::string mode = "demo";  // sim | native | demo
+  std::string mode = "demo";  // sim | native | suite | demo
   std::string machine = "Mach A";
   std::string kernel = "reduce";
   std::string backend;  // sim: profile name; native: registry name
@@ -44,6 +52,13 @@ struct options {
   bool explain = false;
   bool csv = false;
   std::string alloc = "custom";  // custom | default
+  // --mode=suite: crash-isolated matrix runner.
+  std::string kernels = "reduce,inclusive_scan";  // comma-separated
+  std::string backends_list;                      // empty = all native
+  std::string journal_path = "pstlb_suite.jsonl";
+  unsigned timeout_ms = 60000;
+  int retries = 1;
+  std::string fault;  // PSTLB_FAULT value injected into the children
 };
 
 double parse_size(const std::string& text) {
@@ -90,6 +105,18 @@ bool parse_args(int argc, char** argv, options& opt) {
       opt.reps = std::atoi(reps_v);
     } else if (const char* alloc_v = value_of("--alloc")) {
       opt.alloc = alloc_v;
+    } else if (const char* kernels_v = value_of("--kernels")) {
+      opt.kernels = kernels_v;
+    } else if (const char* backends_v = value_of("--backends")) {
+      opt.backends_list = backends_v;
+    } else if (const char* journal_v = value_of("--journal")) {
+      opt.journal_path = journal_v;
+    } else if (const char* timeout_v = value_of("--timeout-ms")) {
+      opt.timeout_ms = static_cast<unsigned>(std::atoi(timeout_v));
+    } else if (const char* retries_v = value_of("--retries")) {
+      opt.retries = std::atoi(retries_v);
+    } else if (const char* fault_v = value_of("--fault")) {
+      opt.fault = fault_v;
     } else if (arg == "--help" || arg == "-h") {
       opt.mode = "help";
     } else {
@@ -117,7 +144,14 @@ void print_usage() {
       "  --reps=N               (native) repetitions, median reported\n"
       "  --explain              (sim) per-phase breakdown\n"
       "  --csv                  machine-readable one-line-per-result output\n"
-      "  --list                 machines, kernels, backends");
+      "  --list                 machines, kernels, backends\n"
+      "suite mode (--mode=suite): crash-isolated native matrix runner\n"
+      "  --kernels=a,b,...      kernels to run (default reduce,inclusive_scan)\n"
+      "  --backends=a,b,...     native backends (default: all)\n"
+      "  --journal=PATH         JSONL results journal; reruns resume from it\n"
+      "  --timeout-ms=N         per-run wall-clock budget (default 60000)\n"
+      "  --retries=N            extra attempts for failed runs (default 1)\n"
+      "  --fault=SPEC           PSTLB_FAULT value injected into the children");
 }
 
 void print_list() {
@@ -259,12 +293,19 @@ int run_native(const options& opt) {
     std::puts("mode,kernel,backend,threads,size,k_it,median_seconds");
   }
   for (backends::backend_id id : ids) {
-    const double median = backends::with_policy(id, threads, [&](auto policy) {
-      if constexpr (exec::ParallelPolicy<decltype(policy)>) {
-        policy.seq_threshold = 0;
-      }
-      return native_median_seconds(opt, policy);
-    });
+    double median = 0.0;
+    try {
+      median = backends::with_policy(id, threads, [&](auto policy) {
+        if constexpr (exec::ParallelPolicy<decltype(policy)>) {
+          policy.seq_threshold = 0;
+        }
+        return native_median_seconds(opt, policy);
+      });
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pstlb_cli: %s/%s failed: %s\n", opt.kernel.c_str(),
+                   std::string(backends::name_of(id)).c_str(), e.what());
+      return 1;
+    }
     if (opt.csv) {
       std::printf("native,%s,%s,%u,%.0f,%.0f,%.9g\n", opt.kernel.c_str(),
                   std::string(backends::name_of(id)).c_str(), threads, opt.size,
@@ -276,6 +317,208 @@ int run_native(const options& opt) {
     }
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Crash-isolated suite runner (--mode=suite).
+//
+// Every (kernel, backend) cell of the matrix runs in a forked child with a
+// wall-clock budget, so a crash, abort, injected fault, or hang in one
+// benchmark cannot take down the rest of the suite. The parent never creates
+// a thread pool (fork() with live pool threads would leave the child's pool
+// mutexes in limbo); it only forks, polls, and journals. Each result is
+// appended to a JSONL journal the moment it is known — one O_APPEND write
+// per line — so a rerun after any interruption resumes where the suite
+// stopped instead of repeating finished work.
+// ---------------------------------------------------------------------------
+
+struct suite_spec {
+  std::string kernel;
+  std::string backend;
+};
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char c : text) {
+    if (c == ',') {
+      if (!item.empty()) { out.push_back(item); }
+      item.clear();
+    } else {
+      item += c;
+    }
+  }
+  if (!item.empty()) { out.push_back(item); }
+  return out;
+}
+
+std::string journal_key(const suite_spec& spec) {
+  return "\"kernel\":\"" + spec.kernel + "\",\"backend\":\"" + spec.backend + "\"";
+}
+
+/// Runs one benchmark in a forked child. Returns the status string for the
+/// journal ("ok" | "timeout" | "exit:<code>" | "signal:<sig>") and the
+/// child-reported median (seconds) when ok.
+std::string run_isolated(const options& opt, const suite_spec& spec,
+                         double& median_out) {
+  int pipe_fd[2];
+  if (::pipe(pipe_fd) != 0) { return "exit:pipe"; }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fd[0]);
+    ::close(pipe_fd[1]);
+    return "exit:fork";
+  }
+  if (pid == 0) {
+    // Child: configure injection for this run only, execute the benchmark,
+    // ship the median back through the pipe. Any exception is a clean
+    // nonzero exit — the parent records it; crashes and hangs are the
+    // parent's problem by design.
+    ::close(pipe_fd[0]);
+    if (!opt.fault.empty()) {
+      // Arm programmatically — the injection layer latched the (absent)
+      // PSTLB_FAULT env var at process start, before the fork.
+      fault::set(fault::parse(opt.fault));
+      ::setenv("PSTLB_FAULT", opt.fault.c_str(), 1);
+    }
+    int code = 0;
+    try {
+      options child_opt = opt;
+      child_opt.kernel = spec.kernel;
+      const unsigned threads =
+          opt.threads == 0 ? exec::default_threads() : opt.threads;
+      const backends::backend_id id = backends::parse_backend(spec.backend);
+      const double median = backends::with_policy(id, threads, [&](auto policy) {
+        if constexpr (exec::ParallelPolicy<decltype(policy)>) {
+          policy.seq_threshold = 0;
+        }
+        return native_median_seconds(child_opt, policy);
+      });
+      (void)!::write(pipe_fd[1], &median, sizeof median);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pstlb_cli: %s/%s failed: %s\n", spec.kernel.c_str(),
+                   spec.backend.c_str(), e.what());
+      code = 3;
+    } catch (...) {
+      code = 3;
+    }
+    ::close(pipe_fd[1]);
+    ::_exit(code);
+  }
+  // Parent: poll for exit with a deadline; SIGKILL on budget overrun.
+  ::close(pipe_fd[1]);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opt.timeout_ms);
+  int status = 0;
+  bool timed_out = false;
+  for (;;) {
+    const pid_t done = ::waitpid(pid, &status, WNOHANG);
+    if (done == pid) { break; }
+    if (done < 0) {
+      ::close(pipe_fd[0]);
+      return "exit:wait";
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      timed_out = true;
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::string result;
+  if (timed_out) {
+    result = "timeout";
+  } else if (WIFSIGNALED(status)) {
+    result = "signal:" + std::to_string(WTERMSIG(status));
+  } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+    result = "exit:" + std::to_string(WEXITSTATUS(status));
+  } else {
+    double median = 0.0;
+    if (::read(pipe_fd[0], &median, sizeof median) == sizeof median) {
+      median_out = median;
+      result = "ok";
+    } else {
+      result = "exit:nodata";  // clean exit but no result came through
+    }
+  }
+  ::close(pipe_fd[0]);
+  return result;
+}
+
+int run_suite(const options& opt) {
+  std::vector<std::string> backend_names = split_list(opt.backends_list);
+  if (backend_names.empty()) {
+    for (backends::backend_id id : backends::all_backends()) {
+      backend_names.emplace_back(backends::name_of(id));
+    }
+  }
+  std::vector<suite_spec> specs;
+  for (const std::string& kernel : split_list(opt.kernels)) {
+    for (const std::string& backend : backend_names) {
+      specs.push_back(suite_spec{kernel, backend});
+    }
+  }
+
+  // Resume: any spec the journal already records as ok is done.
+  std::size_t resumed = 0;
+  std::vector<bool> done(specs.size(), false);
+  for (const std::string& line : bench::journal::read_lines(opt.journal_path)) {
+    if (line.find("\"status\":\"ok\"") == std::string::npos) { continue; }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (!done[i] && line.find(journal_key(specs[i])) != std::string::npos) {
+        done[i] = true;
+        ++resumed;
+        break;
+      }
+    }
+  }
+  if (resumed > 0) {
+    std::printf("resuming: %zu of %zu runs already ok in %s\n", resumed,
+                specs.size(), opt.journal_path.c_str());
+  }
+
+  bench::journal log;
+  if (!log.open(opt.journal_path)) {
+    std::fprintf(stderr, "pstlb_cli: cannot open journal %s\n",
+                 opt.journal_path.c_str());
+    return 2;
+  }
+
+  bench::table summary("suite results");
+  summary.set_header({"kernel", "backend", "status", "median s", "attempts"});
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const suite_spec& spec = specs[i];
+    if (done[i]) {
+      summary.add_row({spec.kernel, spec.backend, "ok (journal)", "-", "0"});
+      continue;
+    }
+    std::string status;
+    double median = 0.0;
+    int attempt = 0;
+    const int max_attempts = 1 + std::max(0, opt.retries);
+    for (attempt = 1; attempt <= max_attempts; ++attempt) {
+      status = run_isolated(opt, spec, median);
+      char line[256];
+      std::snprintf(line, sizeof line,
+                    "{%s,\"status\":\"%s\",\"median_s\":%.9g,\"attempt\":%d}",
+                    journal_key(spec).c_str(), status.c_str(),
+                    status == "ok" ? median : -1.0, attempt);
+      log.append(line);
+      if (status == "ok") { break; }
+    }
+    if (status != "ok") { ++failures; }
+    summary.add_row({spec.kernel, spec.backend, status,
+                     status == "ok" ? bench::fmt(median, 6) : "-",
+                     std::to_string(std::min(attempt, max_attempts))});
+  }
+  summary.print(std::cout);
+  if (failures > 0) {
+    std::printf("%zu of %zu runs failed (journal: %s)\n", failures,
+                specs.size(), opt.journal_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 int run_demo() {
@@ -305,5 +548,6 @@ int main(int argc, char** argv) {
   }
   if (opt.mode == "sim") { return pstlb::cli::run_sim(opt); }
   if (opt.mode == "native") { return pstlb::cli::run_native(opt); }
+  if (opt.mode == "suite") { return pstlb::cli::run_suite(opt); }
   return pstlb::cli::run_demo();
 }

@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "pstlb/common.hpp"
+#include "pstlb/fault.hpp"
 #include "sched/loop_context.hpp"
 
 namespace pstlb::backends {
@@ -60,6 +61,7 @@ void sequential_blocks(index_t n, index_t grain, std::atomic<index_t>* cancel,
       return;  // in-order walk: nothing past the cancel point matters
     }
     const index_t end = begin + grain < n ? begin + grain : n;
+    if (fault::armed()) { fault::on_chunk(begin); }
     body(begin, end, tid);
   }
 }

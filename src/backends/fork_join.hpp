@@ -12,7 +12,10 @@
 
 #include "backends/backend.hpp"
 #include "backends/nesting.hpp"
+#include "pstlb/fault.hpp"
+#include "sched/cancel.hpp"
 #include "sched/thread_pool.hpp"
+#include "sched/watchdog.hpp"
 #include "trace/trace.hpp"
 
 namespace pstlb::backends {
@@ -32,28 +35,46 @@ class fork_join_backend {
       sequential_blocks(n, grain, cancel, std::forward<F>(body));
       return;
     }
-    // noexcept region: an exception escaping a parallel body terminates,
-    // matching std::execution::par (and keeping the pool's barrier sound).
+    // Fault channel for the region: the first block to throw captures its
+    // exception, every participant drains its remaining blocks without
+    // running user code, and the exception is rethrown on the caller after
+    // the barrier (TBB task_group_context semantics, unlike the
+    // terminate-on-throw contract of std::execution::par).
+    sched::cancel_source errors;
     sched::thread_pool::global().run(
-        threads_, [&](unsigned tid, unsigned nthreads) noexcept {
+        threads_,
+        [&](unsigned tid, unsigned nthreads) noexcept {
           region_guard guard;
+          sched::cancel_binding bind(&errors);
           const index_t slice = ceil_div(n, static_cast<index_t>(nthreads));
           const index_t begin = std::min<index_t>(slice * tid, n);
           const index_t end = std::min<index_t>(begin + slice, n);
           const index_t step = grain > 0 ? grain : 1;
           for (index_t b = begin; b < end; b += step) {
+            if (errors.cancelled()) { return; }
             if (cancel != nullptr &&
                 b >= cancel->load(std::memory_order_relaxed)) {
               return;
             }
             const index_t be = std::min<index_t>(b + step, end);
             const std::uint64_t t0 = trace::span_begin();
-            body(b, be, tid);
+            sched::watchdog::chunk_mark mark("fork_join", tid, b, be);
+            try {
+              if (fault::armed()) { fault::on_chunk(b); }
+              if (errors.cancelled()) { return; }  // stall may outlive cancel
+              body(b, be, tid);
+            } catch (...) {
+              errors.capture_current();
+              return;
+            }
+            errors.beat();
             trace::record_span(trace::pool_id::fork_join,
                                trace::event_kind::chunk, t0,
                                static_cast<std::uint64_t>(be - b));
           }
-        });
+        },
+        &errors);
+    errors.rethrow();
   }
 
  private:

@@ -13,7 +13,10 @@
 
 #include "backends/backend.hpp"
 #include "backends/nesting.hpp"
+#include "pstlb/fault.hpp"
+#include "sched/cancel.hpp"
 #include "sched/thread_pool.hpp"
+#include "sched/watchdog.hpp"
 #include "trace/trace.hpp"
 
 namespace pstlb::backends {
@@ -36,11 +39,16 @@ class omp_dynamic_backend {
     const index_t step = grain > 0 ? grain : 1;
     const index_t chunks = ceil_div(n, step);
     alignas(cache_line_size) std::atomic<index_t> cursor{0};
-    // noexcept region: see fork_join.hpp — par-body exceptions terminate.
+    // Fault channel: see fork_join.hpp — first block to throw wins, the rest
+    // drain, the caller rethrows after the barrier.
+    sched::cancel_source errors;
     sched::thread_pool::global().run(
-        threads_, [&](unsigned tid, unsigned) noexcept {
+        threads_,
+        [&](unsigned tid, unsigned) noexcept {
           region_guard guard;
+          sched::cancel_binding bind(&errors);
           for (;;) {
+            if (errors.cancelled()) { return; }
             const index_t c = cursor.fetch_add(1, std::memory_order_relaxed);
             if (c >= chunks) { return; }
             const index_t begin = c * step;
@@ -50,12 +58,23 @@ class omp_dynamic_backend {
             }
             const index_t end = std::min<index_t>(begin + step, n);
             const std::uint64_t t0 = trace::span_begin();
-            body(begin, end, tid);
+            sched::watchdog::chunk_mark mark("omp_dynamic", tid, begin, end);
+            try {
+              if (fault::armed()) { fault::on_chunk(begin); }
+              if (errors.cancelled()) { return; }  // stall may outlive cancel
+              body(begin, end, tid);
+            } catch (...) {
+              errors.capture_current();
+              return;
+            }
+            errors.beat();
             trace::record_span(trace::pool_id::fork_join,
                                trace::event_kind::chunk, t0,
                                static_cast<std::uint64_t>(end - begin));
           }
-        });
+        },
+        &errors);
+    errors.rethrow();
   }
 
  private:

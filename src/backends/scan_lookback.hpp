@@ -32,6 +32,13 @@
 // for_blocks(workers, 1, ...) — extra body invocations find the ticket
 // exhausted and return.
 //
+// Failure: a chunk whose user code throws publishes POISONED instead of a
+// value (the exception is captured in the scan's cancel_source, first one
+// wins), and every lookback observes POISONED/cancellation and bails, so a
+// mid-lookback exception can never strand a spinning peer. Claimed tickets
+// always publish *something* — that is the invariant the protocol's liveness
+// rests on.
+//
 // Ordering: the lookback accumulates a *suffix* of aggregates right-to-left
 // (suffix = A(i) . suffix), so combine is only ever applied in sequence
 // order — non-commutative associative operations (string concatenation,
@@ -45,6 +52,9 @@
 #include <vector>
 
 #include "backends/skeletons.hpp"
+#include "pstlb/fault.hpp"
+#include "sched/cancel.hpp"
+#include "sched/watchdog.hpp"
 #include "trace/trace.hpp"
 
 namespace pstlb::backends {
@@ -55,6 +65,7 @@ enum : unsigned {
   chunk_empty = 0,      // claimed (or not yet claimed); nothing published
   chunk_aggregate = 1,  // chunk-local aggregate available
   chunk_prefix = 2,     // inclusive prefix of everything through this chunk
+  chunk_poisoned = 3,   // owner failed or drained; no value will ever appear
 };
 
 /// One descriptor per chunk, padded so the publishing store and the
@@ -71,9 +82,15 @@ struct alignas(cache_line_size) chunk_descriptor {
 /// Spin-then-yield on EMPTY (same 64-spin discipline as the pools), because
 /// the owner is mid-aggregate on another thread — or preempted, in which
 /// case the yield is what lets it run on an oversubscribed host.
+///
+/// Returns nullopt when the chain is broken: a predecessor is POISONED (its
+/// owner threw) or the scan's cancel token tripped while we were spinning on
+/// EMPTY. The spin MUST observe both — a poisoned predecessor will never
+/// publish, so an unconditional wait would deadlock every successor.
 template <class T, class Combine>
-T lookback_carry(std::vector<chunk_descriptor<T>>& chunks, index_t c,
-                 Combine& combine) {
+std::optional<T> lookback_carry(std::vector<chunk_descriptor<T>>& chunks,
+                                index_t c, Combine& combine,
+                                const sched::cancel_source& src) {
   std::optional<T> suffix;  // A(i+1) . A(i+2) ... A(c-1)
   index_t i = c - 1;
   int spins = 0;
@@ -85,6 +102,7 @@ T lookback_carry(std::vector<chunk_descriptor<T>>& chunks, index_t c,
       return suffix.has_value() ? combine(std::move(head), std::move(*suffix))
                                 : std::move(head);
     }
+    if (flag == chunk_poisoned) { return std::nullopt; }
     if (flag == chunk_aggregate) {
       T agg = chunks[static_cast<std::size_t>(i)].aggregate;
       suffix.emplace(suffix.has_value()
@@ -95,6 +113,7 @@ T lookback_carry(std::vector<chunk_descriptor<T>>& chunks, index_t c,
       continue;
     }
     if (++spins >= 64) {
+      if (src.cancelled()) { return std::nullopt; }
       std::this_thread::yield();
       spins = 0;
     }
@@ -153,53 +172,90 @@ void parallel_scan_1p(const B& be, index_t n, Combine&& combine,
       static_cast<std::size_t>(count));
   alignas(cache_line_size) std::atomic<index_t> ticket{0};
   const index_t workers = static_cast<index_t>(be.threads());
-  be.for_blocks(workers, 1, nullptr, [&](index_t, index_t, unsigned) {
+  // Scan-level fault channel, distinct from the launching backend's: the
+  // descriptor chain is shared state the backend knows nothing about, so a
+  // throwing chunk must poison its descriptor HERE — a worker that merely
+  // vanished (backend-level drain) would leave successors spinning forever
+  // on its EMPTY flag. Every claimed ticket therefore publishes something:
+  // a value on success, POISONED on failure or drain.
+  sched::cancel_source src;
+  sched::watchdog::scope monitor(src, "scan");
+  be.for_blocks(workers, 1, nullptr, [&](index_t, index_t, unsigned tid) {
+    sched::cancel_binding bind(&src);
     for (;;) {
       const index_t c = ticket.fetch_add(1, std::memory_order_relaxed);
       if (c >= count) { return; }
+      auto& desc = chunks[static_cast<std::size_t>(c)];
+      if (src.cancelled()) {
+        desc.flag.store(detail::chunk_poisoned, std::memory_order_release);
+        continue;  // drain: claim and poison the remaining tickets
+      }
       const index_t b = c * chunk;
       const index_t e = b + chunk < n ? b + chunk : n;
-      auto& desc = chunks[static_cast<std::size_t>(c)];
       const std::uint64_t elems = static_cast<std::uint64_t>(e - b);
-      if (c == 0) {
+      sched::watchdog::chunk_mark mark("scan", tid, b, e);
+      try {
+        if (fault::armed()) { fault::on_chunk(b); }
+        if (src.cancelled()) {  // an injected stall may outlive a cancel
+          desc.flag.store(detail::chunk_poisoned, std::memory_order_release);
+          continue;
+        }
+        if (c == 0) {
+          const std::uint64_t t0 = trace::span_begin();
+          desc.prefix = fused_block(b, e, T{}, false);
+          desc.flag.store(detail::chunk_prefix, std::memory_order_release);
+          trace::record_span(trace::pool_id::scan, trace::event_kind::chunk,
+                             t0, elems);
+          src.beat();
+          continue;
+        }
+        auto& pred = chunks[static_cast<std::size_t>(c - 1)];
+        if (pred.flag.load(std::memory_order_acquire) == detail::chunk_prefix) {
+          // Fast path: the chain is already resolved up to our chunk — one
+          // fused pass reads each element exactly once. PREFIX is immutable
+          // once published, so the copy is race-free.
+          const std::uint64_t t0 = trace::span_begin();
+          desc.prefix = fused_block(b, e, T{pred.prefix}, true);
+          desc.flag.store(detail::chunk_prefix, std::memory_order_release);
+          trace::record_span(trace::pool_id::scan, trace::event_kind::chunk,
+                             t0, elems);
+          src.beat();
+          continue;
+        }
+        // Decoupled protocol: publish the aggregate, look back for the carry,
+        // publish our prefix (successors unblock before any output is
+        // written), then rescan the — still cache-resident — chunk.
         const std::uint64_t t0 = trace::span_begin();
-        desc.prefix = fused_block(b, e, T{}, false);
+        T agg = reduce_block(b, e);
+        desc.aggregate = agg;
+        desc.flag.store(detail::chunk_aggregate, std::memory_order_release);
+        const std::uint64_t lb0 = trace::span_begin();
+        std::optional<T> carry = detail::lookback_carry(chunks, c, combine, src);
+        trace::record_span(trace::pool_id::scan, trace::event_kind::lookback,
+                           lb0, static_cast<std::uint64_t>(c));
+        if (!carry.has_value()) {
+          // Broken chain (poisoned predecessor or cancellation): our own
+          // prefix is unknowable. Overwriting AGGREGATE with POISONED is
+          // fine — any successor that already consumed the aggregate will
+          // hit the same break further left and bail the same way.
+          desc.flag.store(detail::chunk_poisoned, std::memory_order_release);
+          continue;
+        }
+        T carry_copy = *carry;  // carry seeds both our prefix and the rescan
+        desc.prefix = combine(std::move(carry_copy), std::move(agg));
         desc.flag.store(detail::chunk_prefix, std::memory_order_release);
+        scan_block(b, e, std::move(*carry), true);
         trace::record_span(trace::pool_id::scan, trace::event_kind::chunk, t0,
                            elems);
-        continue;
+        src.beat();
+      } catch (...) {
+        src.capture_current();
+        desc.flag.store(detail::chunk_poisoned, std::memory_order_release);
       }
-      auto& pred = chunks[static_cast<std::size_t>(c - 1)];
-      if (pred.flag.load(std::memory_order_acquire) == detail::chunk_prefix) {
-        // Fast path: the chain is already resolved up to our chunk — one
-        // fused pass reads each element exactly once. PREFIX is immutable
-        // once published, so the copy is race-free.
-        const std::uint64_t t0 = trace::span_begin();
-        desc.prefix = fused_block(b, e, T{pred.prefix}, true);
-        desc.flag.store(detail::chunk_prefix, std::memory_order_release);
-        trace::record_span(trace::pool_id::scan, trace::event_kind::chunk, t0,
-                           elems);
-        continue;
-      }
-      // Decoupled protocol: publish the aggregate, look back for the carry,
-      // publish our prefix (successors unblock before we write output),
-      // then rescan the — still cache-resident — chunk with the carry.
-      const std::uint64_t t0 = trace::span_begin();
-      T agg = reduce_block(b, e);
-      desc.aggregate = agg;
-      desc.flag.store(detail::chunk_aggregate, std::memory_order_release);
-      const std::uint64_t lb0 = trace::span_begin();
-      T carry = detail::lookback_carry(chunks, c, combine);
-      trace::record_span(trace::pool_id::scan, trace::event_kind::lookback, lb0,
-                         static_cast<std::uint64_t>(c));
-      T carry_copy = carry;  // carry seeds both our prefix and the rescan
-      desc.prefix = combine(std::move(carry_copy), std::move(agg));
-      desc.flag.store(detail::chunk_prefix, std::memory_order_release);
-      scan_block(b, e, std::move(carry), true);
-      trace::record_span(trace::pool_id::scan, trace::event_kind::chunk, t0,
-                         elems);
     }
   });
+  // Rethrow before touching chunks.back(): a poisoned tail has no prefix.
+  src.rethrow();
   if (final_prefix != nullptr) {
     *final_prefix = std::move(chunks.back().prefix);
   }

@@ -19,6 +19,8 @@ class table {
   explicit table(std::string title);
 
   void set_header(std::vector<std::string> columns);
+  /// Rows are also registered with the crash-flush buffer below, so a bench
+  /// that dies mid-run still surfaces the measurements it completed.
   void add_row(std::vector<std::string> cells);
   void print(std::ostream& os) const;
   /// Machine-readable form: header + rows, comma-separated, cells with
@@ -29,6 +31,44 @@ class table {
   std::string title_;
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// Crash flush: add_row() pre-renders every row into a static buffer; an
+/// atexit hook and fatal-signal handlers (SIGSEGV, SIGABRT, ...) write the
+/// rows that were never print()ed to stderr with one async-signal-safe
+/// ::write before the process dies. A completed print() discards the rows
+/// committed so far (they reached the stream normally). Best-effort
+/// diagnostics only — the buffer is bounded and overflow drops rows.
+namespace crash_flush {
+/// Number of bytes currently pending (test hook).
+std::size_t pending_bytes() noexcept;
+/// Writes pending rows to `fd` (async-signal-safe). Returns bytes written.
+std::size_t flush(int fd) noexcept;
+}  // namespace crash_flush
+
+/// Append-only JSONL results journal for the crash-isolated suite runner.
+/// Every append() is a single unbuffered O_APPEND ::write of one complete
+/// line, so a crashing or killed process never tears the journal — whatever
+/// lines made it in are valid and a rerun can resume from them.
+class journal {
+ public:
+  journal() = default;
+  ~journal();
+  journal(const journal&) = delete;
+  journal& operator=(const journal&) = delete;
+
+  /// Opens (creating if needed) `path` for appending. Returns false and
+  /// stays closed on failure.
+  bool open(const std::string& path);
+  bool is_open() const noexcept { return fd_ >= 0; }
+  /// Writes `line` plus a trailing newline; no-op when closed.
+  void append(std::string_view line);
+
+  /// All complete lines of `path`; empty when the file does not exist.
+  static std::vector<std::string> read_lines(const std::string& path);
+
+ private:
+  int fd_ = -1;
 };
 
 /// Fixed-precision formatting helpers.

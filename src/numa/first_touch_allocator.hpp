@@ -21,6 +21,7 @@
 #include "numa/page_registry.hpp"
 #include "numa/topology.hpp"
 #include "pstlb/exec.hpp"
+#include "pstlb/fault.hpp"
 
 namespace pstlb::numa {
 
@@ -67,6 +68,9 @@ class first_touch_allocator {
 
   T* allocate(std::size_t count) {
     const std::size_t bytes = count * sizeof(T);
+    // Injected allocation failure (PSTLB_FAULT=oom:<p>) raises bad_alloc here,
+    // before any allocation or registry side effect.
+    if (fault::armed()) { fault::on_alloc(bytes); }
     auto* raw = static_cast<std::byte*>(
         ::operator new(bytes, std::align_val_t{alignof(std::max_align_t)}));
     parallel_first_touch(policy_, raw, bytes);
@@ -114,6 +118,7 @@ class default_touch_allocator {
 
   T* allocate(std::size_t count) {
     const std::size_t bytes = count * sizeof(T);
+    if (fault::armed()) { fault::on_alloc(bytes); }
     auto* raw = static_cast<std::byte*>(
         ::operator new(bytes, std::align_val_t{alignof(std::max_align_t)}));
     // Sequential touch from the calling thread = default first-touch layout.

@@ -30,6 +30,8 @@ const std::vector<std::string_view>& known_vars() {
       "PSTLB_COUNTERS",           // counter provider: sim | native | perf
       "PSTLB_COUNTER_SAMPLE_MS",  // perf counter-track sample period
       "PSTLB_CSV",                // benches also print CSV tables
+      "PSTLB_FAULT",              // fault injection: throw:<p>|oom:<p>|stall:<ms>|spawnfail
+      "PSTLB_FAULT_SEED",         // fault injection: deterministic draw seed
       "PSTLB_FIG5_NATIVE_LOG2",   // fig5 native sweep: max log2 size
       "PSTLB_FIG5_NATIVE_REPS",   // fig5 native sweep: repetitions
       "PSTLB_SCAN_CHUNK",         // scan skeleton: min elements per chunk
@@ -37,6 +39,8 @@ const std::vector<std::string_view>& known_vars() {
       "PSTLB_TRACE",              // scheduler tracing on/off
       "PSTLB_TRACE_FILE",         // Chrome-trace/Perfetto JSON export path
       "PSTLB_TRACE_RING",         // per-thread event-ring capacity
+      "PSTLB_WATCHDOG_EXIT",      // 0 disables the watchdog hard-exit rung
+      "PSTLB_WATCHDOG_MS",        // hang watchdog stall interval (0 = off)
   };
   return vars;
 }

@@ -11,6 +11,9 @@
 #include <cstdint>
 
 #include "pstlb/common.hpp"
+#include "pstlb/fault.hpp"
+#include "sched/cancel.hpp"
+#include "sched/watchdog.hpp"
 
 namespace pstlb::sched {
 
@@ -26,6 +29,13 @@ struct loop_context {
   /// element index is >= *cancel_before are skipped. The body is responsible
   /// for lowering the value (fetch-min) when it finds a match.
   std::atomic<index_t>* cancel_before = nullptr;
+  /// Exception propagation + cooperative cancellation for this loop. The
+  /// pools install their per-run source before dispatch and rethrow after the
+  /// join; a null source restores the legacy std::terminate behaviour.
+  cancel_source* errors = nullptr;
+  /// Pool label for watchdog diagnostics ("steal", "task_queue", ...).
+  /// Must be a string literal.
+  const char* name = "loop";
 
   index_t num_chunks() const noexcept {
     return n == 0 ? 0 : ceil_div(n, grain);
@@ -38,9 +48,10 @@ struct loop_context {
   }
 
   /// Runs chunk `c`, honoring cancellation. Returns false if skipped.
-  /// noexcept on purpose: an exception escaping a parallel chunk calls
-  /// std::terminate, exactly like the std::execution::par backends — and
-  /// unlike propagation, it cannot wedge the pool's completion counters.
+  /// noexcept on purpose: an exception from user code is captured into
+  /// `errors` (first one wins, token trips, later chunks drain without
+  /// running user code) instead of escaping into the pool's completion
+  /// accounting — the launching thread rethrows it after the join.
   bool execute_chunk(index_t c, unsigned tid) const noexcept {
     index_t begin = 0;
     index_t end = 0;
@@ -49,7 +60,24 @@ struct loop_context {
         begin >= cancel_before->load(std::memory_order_relaxed)) {
       return false;
     }
-    run(state, begin, end, tid);
+    if (errors == nullptr) {
+      run(state, begin, end, tid);
+      return true;
+    }
+    if (errors->cancelled()) { return false; }
+    cancel_binding bind(errors);
+    watchdog::chunk_mark mark(name, tid, begin, end);
+    try {
+      if (fault::armed()) { fault::on_chunk(begin); }
+      // Re-check after the fault hook: an injected stall may have outlived a
+      // watchdog cancellation, in which case the user code must not run.
+      if (errors->cancelled()) { return false; }
+      run(state, begin, end, tid);
+    } catch (...) {
+      errors->capture_current();
+      return false;
+    }
+    errors->beat();
     return true;
   }
 };

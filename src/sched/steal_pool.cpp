@@ -4,6 +4,7 @@
 #include <random>
 #include <thread>
 
+#include "sched/watchdog.hpp"
 #include "trace/trace.hpp"
 
 namespace pstlb::sched {
@@ -24,21 +25,41 @@ void steal_pool::run(unsigned participants, const loop_context& ctx) {
   PSTLB_EXPECTS(ctx.run != nullptr);
   const index_t chunks = ctx.num_chunks();
   if (chunks == 0) { return; }
+
+  // Per-run fault channel: the first throwing chunk captures its exception
+  // here, the rest of the loop drains, and the caller rethrows after the
+  // join. An already-installed source (nested dispatch) is respected.
+  cancel_source errors;
+  loop_context run_ctx = ctx;
+  if (run_ctx.errors == nullptr) { run_ctx.errors = &errors; }
+  run_ctx.name = "steal";
+
   if (participants == 1 || chunks == 1) {
-    for (index_t c = 0; c < chunks; ++c) { ctx.execute_chunk(c, 0); }
+    watchdog::scope monitor(*run_ctx.errors, "steal");
+    for (index_t c = 0; c < chunks; ++c) { run_ctx.execute_chunk(c, 0); }
+    run_ctx.errors->rethrow();
     return;
   }
 
   std::lock_guard guard(run_mutex_);
+  watchdog::scope monitor(*run_ctx.errors, "steal");
+  // Everything that can throw (deque growth, worker spawn, closure
+  // allocation) happens before the root range is seeded, so a failed setup
+  // leaves no stale work behind for the next run.
   ensure_deques(participants);
-  ctx_ = &ctx;
+  pool_.ensure(participants);
+  const thread_pool::region_fn work_fn = [this](unsigned tid, unsigned nthreads) {
+    work(tid, nthreads);
+  };
+  ctx_ = &run_ctx;
   remaining_.store(chunks, std::memory_order_release);
   // Seed the whole iteration space as one root range in the caller's deque;
   // the splitting tree unfolds from here (TBB auto_partitioner style).
   deques_[0]->push(pack_chunks(0, static_cast<std::uint32_t>(chunks)));
 
-  pool_.run(participants, [this](unsigned tid, unsigned nthreads) { work(tid, nthreads); });
+  pool_.run(participants, work_fn);
   ctx_ = nullptr;
+  run_ctx.errors->rethrow();
 }
 
 void steal_pool::work(unsigned tid, unsigned nthreads) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "counters/provider.hpp"
+#include "pstlb/fault.hpp"
+#include "sched/watchdog.hpp"
 #include "trace/trace.hpp"
 
 namespace pstlb::sched {
@@ -17,19 +19,35 @@ thread_local unsigned tls_slot = 0;
 task_queue_pool::task_queue_pool(unsigned workers) {
   active_limit_ = ~0u;
   workers_.reserve(workers);
-  for (unsigned i = 0; i < workers; ++i) {
-    workers_.emplace_back([this, slot = i + 1] { worker_main(slot); });
+  try {
+    for (unsigned i = 0; i < workers; ++i) {
+      if (fault::armed()) { fault::on_spawn(); }
+      workers_.emplace_back([this, slot = i + 1] { worker_main(slot); });
+    }
+  } catch (...) {
+    // Partial startup: join the started workers before the vector<thread>
+    // destructor can terminate on them (~task_queue_pool never runs when the
+    // constructor throws).
+    shutdown_and_join();
+    throw;
   }
 }
 
 task_queue_pool::~task_queue_pool() {
+  shutdown_and_join();
+  for (task_node* node : queue_) { delete node; }
+}
+
+void task_queue_pool::shutdown_and_join() noexcept {
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();
-  for (auto& worker : workers_) { worker.join(); }
-  for (task_node* node : queue_) { delete node; }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) { worker.join(); }
+  }
+  workers_.clear();
 }
 
 void task_queue_pool::ensure(unsigned participants) {
@@ -37,6 +55,8 @@ void task_queue_pool::ensure(unsigned participants) {
   const unsigned needed = participants == 0 ? 0 : participants - 1;
   while (workers_.size() < needed) {
     const unsigned slot = static_cast<unsigned>(workers_.size()) + 1;
+    if (fault::armed()) { fault::on_spawn(); }
+    // Spawn failure propagates with the pool intact (started workers stay).
     workers_.emplace_back([this, slot] { worker_main(slot); });
   }
 }
@@ -104,28 +124,48 @@ void task_queue_pool::run(unsigned participants, const loop_context& ctx) {
   PSTLB_EXPECTS(ctx.run != nullptr);
   const index_t chunks = ctx.num_chunks();
   if (chunks == 0) { return; }
+
+  // Per-run fault channel (see sched/cancel.hpp): first throwing chunk wins,
+  // the rest drain, the caller rethrows after the queue empties.
+  cancel_source errors;
+  loop_context run_ctx = ctx;
+  if (run_ctx.errors == nullptr) { run_ctx.errors = &errors; }
+  run_ctx.name = "task_queue";
+
   if (participants == 1 || chunks == 1) {
-    for (index_t c = 0; c < chunks; ++c) { ctx.execute_chunk(c, tls_slot); }
+    watchdog::scope monitor(*run_ctx.errors, "task_queue");
+    for (index_t c = 0; c < chunks; ++c) { run_ctx.execute_chunk(c, tls_slot); }
+    run_ctx.errors->rethrow();
     return;
   }
   ensure(participants);
 
   std::lock_guard run_guard(run_mutex_);
+  watchdog::scope monitor(*run_ctx.errors, "task_queue");
   {
     std::lock_guard lock(mutex_);
     active_limit_ = participants - 1;  // the caller is the extra participant
   }
   // One heap-allocated task per chunk — the deliberate HPX-like cost profile.
-  for (index_t c = 0; c < chunks; ++c) {
-    submit([&ctx, c] {
-      index_t b = 0;
-      index_t e = 0;
-      ctx.chunk_bounds(c, b, e);
-      const std::uint64_t t0 = trace::span_begin();
-      ctx.execute_chunk(c, tls_slot);
-      trace::record_span(trace::pool_id::task_queue, trace::event_kind::chunk,
-                         t0, static_cast<std::uint64_t>(e - b));
-    });
+  // A submit that throws mid-loop (task allocation failure) cancels the
+  // already-queued chunks so the drain below stays cheap, and is rethrown
+  // once the queue is empty again.
+  std::exception_ptr submit_error;
+  try {
+    for (index_t c = 0; c < chunks; ++c) {
+      submit([&run_ctx, c] {
+        index_t b = 0;
+        index_t e = 0;
+        run_ctx.chunk_bounds(c, b, e);
+        const std::uint64_t t0 = trace::span_begin();
+        run_ctx.execute_chunk(c, tls_slot);
+        trace::record_span(trace::pool_id::task_queue, trace::event_kind::chunk,
+                           t0, static_cast<std::uint64_t>(e - b));
+      });
+    }
+  } catch (...) {
+    submit_error = std::current_exception();
+    run_ctx.errors->cancel();
   }
   // The caller participates by draining the queue, then waits for stragglers.
   {
@@ -135,6 +175,8 @@ void task_queue_pool::run(unsigned participants, const loop_context& ctx) {
     active_limit_ = ~0u;
   }
   work_cv_.notify_all();
+  if (submit_error != nullptr) { std::rethrow_exception(submit_error); }
+  run_ctx.errors->rethrow();
 }
 
 task_queue_pool& task_queue_pool::global() {

@@ -55,6 +55,7 @@ class task_queue_pool {
 
   void worker_main(unsigned slot);
   bool run_one(std::unique_lock<std::mutex>& lock);
+  void shutdown_and_join() noexcept;
 
   std::vector<std::thread> workers_;
   std::mutex run_mutex_;  // serializes run() callers

@@ -1,26 +1,43 @@
 #include "sched/thread_pool.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "counters/provider.hpp"
+#include "pstlb/fault.hpp"
+#include "sched/watchdog.hpp"
 
 namespace pstlb::sched {
 
 thread_pool::thread_pool(unsigned workers, std::string name, trace::pool_id pool)
     : name_(std::move(name)), trace_pool_(pool) {
   workers_.reserve(workers);
-  for (unsigned tid = 1; tid <= workers; ++tid) {
-    workers_.emplace_back([this, tid] { worker_main(tid); });
+  try {
+    for (unsigned tid = 1; tid <= workers; ++tid) {
+      if (fault::armed()) { fault::on_spawn(); }
+      workers_.emplace_back([this, tid] { worker_main(tid); });
+    }
+  } catch (...) {
+    // Partial startup: the members are destroyed but ~thread_pool never runs,
+    // so the started workers must be stopped and joined here — otherwise the
+    // vector<thread> destructor terminates on the joinable threads.
+    shutdown_and_join();
+    throw;
   }
 }
 
-thread_pool::~thread_pool() {
+thread_pool::~thread_pool() { shutdown_and_join(); }
+
+void thread_pool::shutdown_and_join() noexcept {
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
   }
   start_cv_.notify_all();
-  for (auto& worker : workers_) { worker.join(); }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) { worker.join(); }
+  }
+  workers_.clear();
 }
 
 void thread_pool::ensure(unsigned threads) {
@@ -29,11 +46,14 @@ void thread_pool::ensure(unsigned threads) {
   const unsigned needed = threads == 0 ? 0 : threads - 1;
   while (workers_.size() < needed) {
     const unsigned tid = static_cast<unsigned>(workers_.size()) + 1;
+    if (fault::armed()) { fault::on_spawn(); }
+    // A spawn failure here propagates with the pool intact: workers already
+    // in the vector keep running and are joined by the destructor.
     workers_.emplace_back([this, tid] { worker_main(tid); });
   }
 }
 
-void thread_pool::run(unsigned threads, const region_fn& fn) {
+void thread_pool::run(unsigned threads, const region_fn& fn, cancel_source* errors) {
   PSTLB_EXPECTS(threads >= 1);
   if (threads == 1) {
     fn(0, 1);
@@ -41,25 +61,41 @@ void thread_pool::run(unsigned threads, const region_fn& fn) {
   }
   ensure(threads);
   std::lock_guard region(region_mutex_);
+  // Watchdog coverage starts once the region owns the pool — time spent
+  // queued behind another region is charged to that region, not this one.
+  std::optional<watchdog::scope> monitor;
+  if (errors != nullptr) { monitor.emplace(*errors, name_.c_str()); }
   {
     std::unique_lock lock(mutex_);
     PSTLB_EXPECTS(job_ == nullptr);  // no nested regions on one pool
     job_ = &fn;
+    job_errors_ = errors;
     job_threads_ = threads;
     remaining_ = threads - 1;
     ++epoch_;
   }
   start_cv_.notify_all();
 
+  std::exception_ptr caller_error;
   {  // the caller is participant 0
     const std::uint64_t t0 = trace::span_begin();
-    fn(0, threads);
+    try {
+      fn(0, threads);
+    } catch (...) {
+      // Still must meet the barrier: rethrowing before the workers finish
+      // would wreck the epoch accounting for the next region.
+      caller_error = std::current_exception();
+    }
     trace::record_span(trace_pool_, trace::event_kind::region, t0, threads);
   }
 
-  std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [this] { return remaining_ == 0; });
-  job_ = nullptr;
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+    job_errors_ = nullptr;
+  }
+  if (caller_error != nullptr) { std::rethrow_exception(caller_error); }
 }
 
 void thread_pool::worker_main(unsigned tid) {
@@ -70,6 +106,7 @@ void thread_pool::worker_main(unsigned tid) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const region_fn* job = nullptr;
+    cancel_source* job_errors = nullptr;
     unsigned nthreads = 0;
     // The park interval (waiting for the next region, or for a region this
     // worker does not participate in) is the fork-join model's idle time.
@@ -82,11 +119,20 @@ void thread_pool::worker_main(unsigned tid) {
       if (stopping_) { return; }
       seen_epoch = epoch_;
       job = job_;
+      job_errors = job_errors_;
       nthreads = job_threads_;
     }
     trace::record_span(trace_pool_, trace::event_kind::idle, idle0);
     const std::uint64_t t0 = trace::span_begin();
-    (*job)(tid, nthreads);
+    try {
+      (*job)(tid, nthreads);
+    } catch (...) {
+      // With a fault channel the exception joins the region's single-winner
+      // capture; without one this rethrows out of the thread function and
+      // terminates — the legacy contract for raw pool users.
+      if (job_errors == nullptr) { throw; }
+      job_errors->capture_current();
+    }
     trace::record_span(trace_pool_, trace::event_kind::region, t0, nthreads);
     {
       std::lock_guard lock(mutex_);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "pstlb/common.hpp"
+#include "sched/cancel.hpp"
 #include "trace/trace.hpp"
 
 namespace pstlb::sched {
@@ -33,6 +34,9 @@ class thread_pool {
 
   /// `name`/`pool` identify this pool in scheduler traces: worker tracks
   /// are labelled "<name> worker <tid>" and idle/region spans carry `pool`.
+  /// Throws std::system_error when a worker thread cannot be spawned; the
+  /// already-started workers are shut down and joined first, so a failed
+  /// construction leaks nothing.
   explicit thread_pool(unsigned workers, std::string name = "fork_join",
                        trace::pool_id pool = trace::pool_id::fork_join);
   ~thread_pool();
@@ -44,10 +48,19 @@ class thread_pool {
   unsigned worker_count() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
   /// Grows the pool so that regions of `threads` participants are possible.
+  /// Strong guarantee on spawn failure: successfully-started workers stay in
+  /// the pool and the std::system_error propagates.
   void ensure(unsigned threads);
 
   /// Runs `fn(tid, threads)` on `threads` participants and waits for all.
-  void run(unsigned threads, const region_fn& fn);
+  /// `errors`, when given, is the region's fault channel: it is registered
+  /// with the hang watchdog for the duration of the run, and an exception
+  /// escaping `fn` on a worker thread is captured into it (first one wins)
+  /// instead of terminating. The caller still owns the rethrow; an exception
+  /// from the caller's own slot (tid 0) is rethrown here after the barrier.
+  /// Without `errors`, a throwing `fn` on a worker terminates, as any thread
+  /// function does.
+  void run(unsigned threads, const region_fn& fn, cancel_source* errors = nullptr);
 
   /// Process-wide pool shared by all fork_join policies. Initial size is
   /// max(hardware_concurrency, PSTL_NUM_THREADS, OMP_NUM_THREADS); it grows
@@ -56,6 +69,9 @@ class thread_pool {
 
  private:
   void worker_main(unsigned tid);
+  /// Stops and joins every started worker (constructor-failure cleanup and
+  /// the destructor share this path).
+  void shutdown_and_join() noexcept;
 
   std::string name_;             // immutable after construction
   trace::pool_id trace_pool_;    // immutable after construction
@@ -65,10 +81,11 @@ class thread_pool {
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  const region_fn* job_ = nullptr;  // guarded by mutex_
-  unsigned job_threads_ = 0;        // participants for the current epoch
-  std::uint64_t epoch_ = 0;         // bumped per region
-  unsigned remaining_ = 0;          // workers still inside the region
+  const region_fn* job_ = nullptr;   // guarded by mutex_
+  cancel_source* job_errors_ = nullptr;  // guarded by mutex_
+  unsigned job_threads_ = 0;         // participants for the current epoch
+  std::uint64_t epoch_ = 0;          // bumped per region
+  unsigned remaining_ = 0;           // workers still inside the region
   bool stopping_ = false;
 };
 

@@ -1,7 +1,7 @@
 // Contract and failure-injection tests: precondition violations must abort
-// loudly (PSTLB_EXPECTS), and exceptions on the sequential path propagate
-// (on parallel paths, like the std:: backends, an escaping exception
-// terminates — asserted via death tests).
+// loudly (PSTLB_EXPECTS), and exceptions propagate to the caller on the
+// sequential AND parallel paths (TBB task_group_context semantics — exactly
+// one exception per region; see sched/cancel.hpp and exception_safety_test).
 #include <gtest/gtest.h>
 
 #include <stdexcept>
@@ -65,19 +65,18 @@ TEST(Exceptions, SmallInputFallbackPropagates) {
   EXPECT_TRUE(caught);
 }
 
-TEST(ContractDeath, ParallelPathExceptionTerminates) {
-  // Matches std::execution::par semantics: an escaping exception from a
-  // worker calls std::terminate.
+TEST(ContractDeath, ParallelPathExceptionPropagates) {
+  // Stronger than std::execution::par (which terminates): an exception from
+  // a worker chunk is captured by the region's cancel_source — first one
+  // wins, the rest of the loop drains — and rethrown here.
   pstlb::exec::steal_policy pol{4};
   pol.seq_threshold = 0;
   std::vector<int> v(100000, 1);
-  EXPECT_DEATH(
-      {
-        pstlb::for_each(pol, v.begin(), v.end(), [](int& x) {
-          if (x == 1) { throw std::runtime_error("boom"); }
-        });
-      },
-      "");
+  EXPECT_THROW(pstlb::for_each(pol, v.begin(), v.end(),
+                               [](int& x) {
+                                 if (x == 1) { throw std::runtime_error("boom"); }
+                               }),
+               std::runtime_error);
 }
 
 }  // namespace
