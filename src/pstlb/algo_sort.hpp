@@ -1,24 +1,39 @@
 // Sort-family parallel algorithms.
 //
-// sort / stable_sort use a block-sorted + pairwise-merge-rounds mergesort;
-// every merge is split at merge-path diagonals into independent sub-merges
-// (see pstlb/detail/merge.hpp), so all phases are plain parallel_for loops
-// and therefore run on every backend.
+// sort / stable_sort pick between two parallel pipelines (selection in
+// detail::use_samplesort, runtime override via PSTLB_SORT=sample|merge):
 //
-// Requirements beyond the std versions (documented limitation): the parallel
-// paths use an out-of-place buffer, so value types must be default-
-// constructible and copy/move-assignable — true for every benchmark type.
+//   - samplesort (pstlb/detail/samplesort.hpp): counting distribution into
+//     cache-sized buckets — a constant number of full-array passes
+//     regardless of thread count; the default above the policy's
+//     sample_sort_min threshold.
+//   - mergesort (below): block sort + pairwise merge rounds, every merge
+//     split at merge-path diagonals into independent sub-merges (see
+//     pstlb/detail/merge.hpp) — log2(P) full passes, kept as the fallback
+//     and the small-input path. multiway_sort replaces the rounds with
+//     GNU's single R-way merge.
+//
+// Both pipelines are plain parallel_for/scan launches, so they run on every
+// backend. Requirements beyond the std versions (documented limitation): the
+// parallel paths use an out-of-place buffer, so value types must be default-
+// constructible and move-assignable; samplesort additionally needs
+// copy-constructible values (materialized splitters) and falls back to
+// mergesort for types that are not.
 #pragma once
 
 #include <algorithm>
 #include <functional>
 #include <iterator>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "backends/skeletons.hpp"
 #include "pstlb/detail/merge.hpp"
 #include "pstlb/detail/multiway.hpp"
+#include "pstlb/detail/samplesort.hpp"
+#include "pstlb/detail/sort_stats.hpp"
+#include "pstlb/env.hpp"
 #include "pstlb/exec.hpp"
 
 namespace pstlb {
@@ -36,6 +51,23 @@ bool sort_multiway_of(const P& policy) {
   }
 }
 
+/// True when this sort should take the samplesort pipeline. Resolution
+/// order: PSTLB_SORT=sample|merge (ablation override, any other value is
+/// ignored) > the policy's sort_path > the automatic size threshold.
+/// Callers gate on samplesort's type requirements before asking.
+template <class P>
+bool use_samplesort(const P& policy, index_t n) {
+  const std::string choice = env::string_or("PSTLB_SORT", "");
+  if (choice == "sample") { return true; }
+  if (choice == "merge") { return false; }
+  switch (policy.sort) {
+    case exec::sort_path::sample: return true;
+    case exec::sort_path::merge: return false;
+    case exec::sort_path::automatic: break;
+  }
+  return n >= policy.sample_sort_min;
+}
+
 struct sub_merge {
   index_t a0, a1, b0, b1, out;
 };
@@ -45,6 +77,9 @@ void parallel_mergesort(const B& be, It first, index_t n, Compare comp,
                         bool multiway = false) {
   using T = typename std::iterator_traits<It>::value_type;
   if (n < 2) { return; }
+  auto& stats =
+      begin_sort_traffic(multiway ? "multiway" : "merge", n, sizeof(T));
+  const double pass_bytes = static_cast<double>(n) * sizeof(T);
 
   // Initial run count: a power of two near 2x the participant count, shrunk
   // so runs never get degenerately small.
@@ -55,23 +90,36 @@ void parallel_mergesort(const B& be, It first, index_t n, Compare comp,
   runs = ceil_div(n, run_len);
 
   // Phase 1: sort each run independently.
-  backends::parallel_for(be, runs, index_t{1}, [&](index_t rb, index_t re, unsigned) {
-    for (index_t r = rb; r < re; ++r) {
-      const index_t b = r * run_len;
-      const index_t e = std::min(n, b + run_len);
-      if constexpr (Stable) {
-        std::stable_sort(first + b, first + e, comp);
-      } else {
-        std::sort(first + b, first + e, comp);
+  {
+    sort_phase_span span(0);
+    backends::parallel_for(be, runs, index_t{1},
+                           [&](index_t rb, index_t re, unsigned) {
+      for (index_t r = rb; r < re; ++r) {
+        const index_t b = r * run_len;
+        const index_t e = std::min(n, b + run_len);
+        if constexpr (Stable) {
+          std::stable_sort(first + b, first + e, comp);
+        } else {
+          std::sort(first + b, first + e, comp);
+        }
       }
-    }
-  });
-  if (runs == 1) { return; }
+    });
+    stats.block_sort.read += pass_bytes;
+    stats.block_sort.written += pass_bytes;
+  }
+  if (runs == 1) {
+    commit_sort_traffic(stats);
+    return;
+  }
 
   std::vector<T> buffer(static_cast<std::size_t>(n));
 
+  // The R-way merge samples splitters by copy (like samplesort), so it is
+  // compiled out for move-only types, which take the pairwise rounds below.
+  if constexpr (std::is_copy_constructible_v<T>) {
   if (multiway) {
     // Phase 2 (GNU style): a single parallel R-way merge pass.
+    sort_phase_span span(1);
     std::vector<run_ref<It>> run_refs;
     run_refs.reserve(static_cast<std::size_t>(runs));
     for (index_t r = 0; r < runs; ++r) {
@@ -82,7 +130,13 @@ void parallel_mergesort(const B& be, It first, index_t n, Compare comp,
     backends::parallel_for(be, n, [&](index_t b, index_t e, unsigned) {
       std::move(buffer.begin() + b, buffer.begin() + e, first + b);
     });
+    // The R-way pass streams everything once, the move-back once more.
+    stats.merge_rounds.read += 2 * pass_bytes;
+    stats.merge_rounds.written += 2 * pass_bytes;
+    stats.merge_round_count = 2;
+    commit_sort_traffic(stats);
     return;
+  }
   }
 
   // Phase 2 (TBB/HPX style): pairwise merge rounds, ping-ponging the buffer.
@@ -133,18 +187,47 @@ void parallel_mergesort(const B& be, It first, index_t n, Compare comp,
   };
 
   for (index_t width = 1; width < runs; width *= 2) {
+    sort_phase_span span(static_cast<std::uint64_t>(stats.merge_round_count) + 1);
     if (!in_buffer) {
       do_round(first, buffer.begin(), width);
     } else {
       do_round(buffer.begin(), first, width);
     }
     in_buffer = !in_buffer;
+    stats.merge_rounds.read += pass_bytes;
+    stats.merge_rounds.written += pass_bytes;
+    stats.merge_round_count += 1;
   }
   if (in_buffer) {
+    sort_phase_span span(static_cast<std::uint64_t>(stats.merge_round_count) + 1);
     backends::parallel_for(be, n, [&](index_t b, index_t e, unsigned) {
       std::move(buffer.begin() + b, buffer.begin() + e, first + b);
     });
+    stats.merge_rounds.read += pass_bytes;
+    stats.merge_rounds.written += pass_bytes;
+    stats.merge_round_count += 1;
   }
+  commit_sort_traffic(stats);
+}
+
+/// Routes a parallel sort to samplesort or mergesort. Samplesort materializes
+/// splitter copies and value-initializes its scatter buffer, so types that
+/// are not copy-constructible + default-constructible + move-assignable
+/// silently keep the mergesort pipeline (which needs only the latter two).
+template <bool Stable, class B, class P, class It, class Compare>
+void parallel_sort_dispatch(const B& be, const P& policy, It first, index_t n,
+                            Compare comp) {
+  using T = typename std::iterator_traits<It>::value_type;
+  if constexpr (std::is_copy_constructible_v<T> &&
+                std::is_default_constructible_v<T> &&
+                std::is_move_assignable_v<T>) {
+    if (use_samplesort(policy, n)) {
+      parallel_samplesort<Stable>(be, policy, first, n, comp);
+      return;
+    }
+  }
+  parallel_mergesort<B, It, Compare, Stable>(be, first, n, comp,
+                                             sort_multiway_of(policy));
 }
 
 }  // namespace detail
@@ -156,8 +239,7 @@ void sort(P&& policy, It first, It last, Compare comp) {
       policy, n, [&] { std::sort(first, last, comp); },
       [&](auto be, index_t grain) {
         (void)grain;
-        detail::parallel_mergesort<decltype(be), It, Compare, false>(
-            be, first, n, comp, detail::sort_multiway_of(policy));
+        detail::parallel_sort_dispatch<false>(be, policy, first, n, comp);
       });
 }
 
@@ -173,8 +255,7 @@ void stable_sort(P&& policy, It first, It last, Compare comp) {
       policy, n, [&] { std::stable_sort(first, last, comp); },
       [&](auto be, index_t grain) {
         (void)grain;
-        detail::parallel_mergesort<decltype(be), It, Compare, true>(
-            be, first, n, comp, detail::sort_multiway_of(policy));
+        detail::parallel_sort_dispatch<true>(be, policy, first, n, comp);
       });
 }
 

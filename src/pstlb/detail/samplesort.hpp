@@ -1,0 +1,350 @@
+// Cache/bandwidth-efficient parallel samplesort (PBBS-style counting sort
+// over sampled splitters).
+//
+// The merge-round mergesort in algo_sort.hpp re-reads and re-writes the
+// whole array once per pairwise round — log2(P) full passes, which is
+// exactly what caps sort speedup on the bandwidth-bound machines the paper
+// studies (Fig. 7: only GNU's single-round multiway merge stays efficient at
+// high thread counts). Samplesort does the whole distribution in a constant
+// number of passes regardless of thread count:
+//
+//   1. SAMPLE    pick oversample*B deterministic samples, sort them, take
+//                every oversample-th as a splitter (B-1 splitters, B
+//                buckets). O(B log B) work on the calling thread.
+//   2. CLASSIFY  chunked parallel pass: each chunk counts, per bucket, how
+//                many of its elements land there (per-chunk histograms; one
+//                streaming read of the input).
+//   3. OFFSETS   exclusive prefix over the bucket-major (bucket, chunk)
+//                histogram matrix through the decoupled-lookback scan
+//                skeleton — every (bucket, chunk) cell becomes the exact
+//                scatter offset of that chunk's slice of that bucket.
+//   4. SCATTER   chunked parallel pass: re-classify and move each element to
+//                its slot in the scratch buffer (one read + one write).
+//                Chunk-ordered offsets make the scatter stable: within a
+//                bucket, chunk c's elements precede chunk c+1's, and a chunk
+//                emits in element order.
+//   5. BUCKETS   parallel over buckets (grain 1, so the backend's scheduler
+//                balances skewed buckets): sort each bucket — cache-resident
+//                by construction of the bucket cap — and move it back to its
+//                final position in the input range. A bucket that overflows
+//                the cap (skewed splitters) is either all-equal (already
+//                grouped; moved back untouched) or recursed through the same
+//                pipeline once, sequentially, before the leaf sort.
+//
+// DRAM traffic: ~3 input reads (classify, scatter, bucket load) and ~2
+// writes (scatter, move-back) — constant in P, vs mergesort's 1 + log2(2P)
+// read+write rounds. The fig7 native comparison prints both from the
+// sort_stats snapshot so the pass-count argument is measured, not asserted.
+//
+// Stability: classification by upper_bound sends equal keys to the same
+// bucket, the scatter is chunk- and element-ordered, and the stable variant
+// uses std::stable_sort leaves — so pstlb::stable_sort can run on this path.
+//
+// Failure: phases 2, 4 and 5 are plain for_blocks launches, so the pools'
+// cancellation protocol (PR 4) already guarantees exactly-one-exception and
+// no stranded peers; phase 3 inherits the scan's poisoned-descriptor
+// protocol — a throwing classification chunk can never leave an offset
+// consumer spinning. Fault-injection hooks fire at every chunk boundary via
+// the backends' standard chunk hook.
+//
+// Requirements beyond mergesort's (default-constructible + move-assignable):
+// value types must be copy-constructible, because splitters are materialized
+// copies that must survive while the source array is permuted underneath
+// them. The front-end gates on this and falls back to mergesort otherwise.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "backends/scan_lookback.hpp"
+#include "backends/seq.hpp"
+#include "backends/skeletons.hpp"
+#include "numa/first_touch_allocator.hpp"
+#include "pstlb/detail/sort_stats.hpp"
+#include "pstlb/env.hpp"
+#include "trace/trace.hpp"
+
+namespace pstlb::detail {
+
+/// Samplesort tunables, resolved once per sort from the env registry.
+struct samplesort_params {
+  /// Elements per bucket above which a bucket is recursed (and below which
+  /// its sort is assumed cache-resident). PSTLB_SORT_BUCKET_CAP.
+  index_t bucket_cap = index_t{1} << 15;
+  /// Samples per splitter. PSTLB_SORT_OVERSAMPLE.
+  index_t oversample = 32;
+
+  static samplesort_params from_env() {
+    samplesort_params p;
+    p.bucket_cap = static_cast<index_t>(
+        env::unsigned_or("PSTLB_SORT_BUCKET_CAP",
+                         static_cast<unsigned>(p.bucket_cap)));
+    if (p.bucket_cap < 32) { p.bucket_cap = 32; }
+    p.oversample = static_cast<index_t>(env::unsigned_or(
+        "PSTLB_SORT_OVERSAMPLE", static_cast<unsigned>(p.oversample)));
+    if (p.oversample < 4) { p.oversample = 4; }
+    return p;
+  }
+};
+
+/// splitmix64 over a fixed seed: splitter sampling is deterministic, so a
+/// given (input, params) pair always picks the same splitters and a failing
+/// run replays identically.
+inline std::uint64_t samplesort_draw(std::uint64_t site) {
+  std::uint64_t z = site + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Bucket count for a segment of `n` elements: aim for half-cap buckets so
+/// the average bucket has slack before the recursion cap, keep at least 4
+/// buckets per thread for balance, and bound the splitter search depth.
+inline index_t samplesort_buckets(index_t n, unsigned threads,
+                                  index_t bucket_cap) {
+  constexpr index_t max_buckets = 4096;
+  index_t want = ceil_div(2 * n, bucket_cap);
+  const index_t par = static_cast<index_t>(threads) * 4;
+  if (want < par) { want = par; }
+  if (want > max_buckets) { want = max_buckets; }
+  if (want > n / 32) { want = n / 32; }  // never degenerate buckets
+  return want;
+}
+
+/// One sort-phase trace span on the dedicated sort track; `phase` is the
+/// pipeline position (0 = sample, 1 = classify, 2 = scatter, 3 = buckets).
+class sort_phase_span {
+ public:
+  explicit sort_phase_span(std::uint64_t phase)
+      : phase_(phase), t0_(trace::span_begin()) {}
+  ~sort_phase_span() {
+    trace::record_span(trace::pool_id::sort, trace::event_kind::phase, t0_,
+                       phase_);
+  }
+  sort_phase_span(const sort_phase_span&) = delete;
+  sort_phase_span& operator=(const sort_phase_span&) = delete;
+
+ private:
+  std::uint64_t phase_;
+  std::uint64_t t0_;
+};
+
+/// Sorts [src, src + n) with [tmp, tmp + n) as scratch; the result ends in
+/// src. `depth` 0 is the parallel top-level call; overflowing buckets
+/// recurse exactly once at depth 1 on the sequential backend (they run
+/// inside a pool worker, so nesting a second pool launch is off the table).
+/// `stats` is non-null only at the top level — recursion traffic rides on
+/// the bucket phase's accounting.
+template <bool Stable, backends::Backend B, class SrcIt, class TmpIt,
+          class Compare>
+void samplesort_segment(const B& be, SrcIt src, TmpIt tmp, index_t n,
+                        Compare comp, const samplesort_params& params,
+                        int depth, sort_traffic_stats* stats) {
+  using T = typename std::iterator_traits<SrcIt>::value_type;
+  const double elem_bytes = static_cast<double>(sizeof(T));
+
+  auto leaf_sort = [&](auto first, auto last) {
+    if constexpr (Stable) {
+      std::stable_sort(first, last, comp);
+    } else {
+      std::sort(first, last, comp);
+    }
+  };
+
+  const index_t bucket_count =
+      samplesort_buckets(n, be.threads(), params.bucket_cap);
+  if (n < 2 || bucket_count < 2) {
+    leaf_sort(src, src + n);
+    return;
+  }
+
+  // --- phase 0: splitter selection ------------------------------------------
+  // Oversampling narrows the spread of bucket sizes: with s samples per
+  // splitter the expected maximum bucket is within a small constant of the
+  // mean (Blelloch et al.), which is what keeps the recursion rare.
+  std::vector<T> splitters;
+  {
+    sort_phase_span span(0);
+    const index_t samples =
+        std::min(n, params.oversample * (bucket_count - 1) + 1);
+    std::vector<T> sample;
+    sample.reserve(static_cast<std::size_t>(samples));
+    for (index_t i = 0; i < samples; ++i) {
+      const auto pick = static_cast<index_t>(
+          samplesort_draw(static_cast<std::uint64_t>(i) +
+                          (static_cast<std::uint64_t>(depth) << 32)) %
+          static_cast<std::uint64_t>(n));
+      sample.push_back(src[pick]);
+    }
+    std::sort(sample.begin(), sample.end(), comp);
+    splitters.reserve(static_cast<std::size_t>(bucket_count - 1));
+    for (index_t k = 1; k < bucket_count; ++k) {
+      splitters.push_back(sample[static_cast<std::size_t>(
+          k * samples / bucket_count)]);
+    }
+    if (stats != nullptr) {
+      stats->sample.read += static_cast<double>(samples) * elem_bytes;
+    }
+  }
+
+  // Equal keys share an upper_bound, hence a bucket — the stability anchor.
+  auto bucket_of = [&](const T& x) {
+    return static_cast<index_t>(
+        std::upper_bound(splitters.begin(), splitters.end(), x, comp) -
+        splitters.begin());
+  };
+
+  // --- phase 1: per-chunk bucket histograms ---------------------------------
+  const backends::chunk_table chunks(n, be.slots());
+  const index_t chunk_count = chunks.count;
+  // Bucket-major layout hist[b * chunk_count + c]: the offsets scan below
+  // walks it contiguously in exactly scatter order.
+  std::vector<index_t> hist(
+      static_cast<std::size_t>(bucket_count * chunk_count), 0);
+  {
+    sort_phase_span span(1);
+    backends::parallel_for(be, chunk_count, index_t{1},
+                           [&](index_t cb, index_t ce, unsigned) {
+      std::vector<index_t> local(static_cast<std::size_t>(bucket_count));
+      for (index_t c = cb; c < ce; ++c) {
+        std::fill(local.begin(), local.end(), index_t{0});
+        index_t b = 0;
+        index_t e = 0;
+        chunks.bounds(c, b, e);
+        for (index_t i = b; i < e; ++i) { ++local[static_cast<std::size_t>(bucket_of(src[i]))]; }
+        for (index_t bk = 0; bk < bucket_count; ++bk) {
+          hist[static_cast<std::size_t>(bk * chunk_count + c)] =
+              local[static_cast<std::size_t>(bk)];
+        }
+      }
+    });
+    if (stats != nullptr) {
+      stats->classify.read += static_cast<double>(n) * elem_bytes;
+    }
+  }
+
+  // --- phase 2: scatter offsets via the lookback scan machinery -------------
+  // Exclusive prefix over the bucket-major histogram: cell (b, c) becomes
+  // the index where chunk c's slice of bucket b starts in the scratch
+  // buffer. Cheap relative to the element passes, but on wide machines the
+  // matrix is tens of thousands of cells — the same single-pass skeleton the
+  // scan family uses covers both regimes (and its poisoned-descriptor
+  // protocol keeps a mid-scan failure from deadlocking peers).
+  const index_t cells = bucket_count * chunk_count;
+  std::vector<index_t> offsets(static_cast<std::size_t>(cells));
+  backends::parallel_scan_1p<B, index_t>(
+      be, cells, [](index_t a, index_t b) { return a + b; },
+      [&](index_t b, index_t e) {
+        index_t sum = 0;
+        for (index_t i = b; i < e; ++i) { sum += hist[static_cast<std::size_t>(i)]; }
+        return sum;
+      },
+      [&](index_t b, index_t e, index_t carry, bool has_carry) {
+        index_t running = has_carry ? carry : 0;
+        for (index_t i = b; i < e; ++i) {
+          offsets[static_cast<std::size_t>(i)] = running;
+          running += hist[static_cast<std::size_t>(i)];
+        }
+      },
+      [&](index_t b, index_t e, index_t carry, bool has_carry) {
+        index_t running = has_carry ? carry : 0;
+        for (index_t i = b; i < e; ++i) {
+          offsets[static_cast<std::size_t>(i)] = running;
+          running += hist[static_cast<std::size_t>(i)];
+        }
+        return running;
+      });
+
+  // --- phase 3: stable parallel scatter -------------------------------------
+  {
+    sort_phase_span span(2);
+    backends::parallel_for(be, chunk_count, index_t{1},
+                           [&](index_t cb, index_t ce, unsigned) {
+      std::vector<index_t> cursor(static_cast<std::size_t>(bucket_count));
+      for (index_t c = cb; c < ce; ++c) {
+        for (index_t bk = 0; bk < bucket_count; ++bk) {
+          cursor[static_cast<std::size_t>(bk)] =
+              offsets[static_cast<std::size_t>(bk * chunk_count + c)];
+        }
+        index_t b = 0;
+        index_t e = 0;
+        chunks.bounds(c, b, e);
+        for (index_t i = b; i < e; ++i) {
+          auto& slot = cursor[static_cast<std::size_t>(bucket_of(src[i]))];
+          tmp[slot++] = std::move(src[i]);
+        }
+      }
+    });
+    if (stats != nullptr) {
+      stats->scatter.read += static_cast<double>(n) * elem_bytes;
+      stats->scatter.written += static_cast<double>(n) * elem_bytes;
+    }
+  }
+
+  // --- phase 4: per-bucket sort + move back ---------------------------------
+  {
+    sort_phase_span span(3);
+    backends::parallel_for(be, bucket_count, index_t{1},
+                           [&](index_t bb, index_t be_, unsigned) {
+      for (index_t bk = bb; bk < be_; ++bk) {
+        const index_t s = offsets[static_cast<std::size_t>(bk * chunk_count)];
+        const index_t e = bk + 1 < bucket_count
+                              ? offsets[static_cast<std::size_t>(
+                                    (bk + 1) * chunk_count)]
+                              : n;
+        if (s == e) { continue; }
+        if (e - s > params.bucket_cap && depth == 0) {
+          // Overflowing bucket: either every key is equal (classification
+          // already grouped and the stable scatter already ordered them — no
+          // sort needed, which also defuses the all-equal-input worst case)
+          // or the splitters were unlucky and one sequential re-run of the
+          // pipeline splits it before the leaf sorts.
+          const bool all_equal = [&] {
+            for (index_t i = s + 1; i < e; ++i) {
+              if (comp(tmp[i - 1], tmp[i]) || comp(tmp[i], tmp[i - 1])) {
+                return false;
+              }
+            }
+            return true;
+          }();
+          if (!all_equal) {
+            samplesort_segment<Stable>(backends::seq_backend{}, tmp + s,
+                                       src + s, e - s, comp, params, 1,
+                                       nullptr);
+          }
+        } else {
+          leaf_sort(tmp + s, tmp + e);
+        }
+        std::move(tmp + s, tmp + e, src + s);
+      }
+    });
+    if (stats != nullptr) {
+      stats->buckets.read += static_cast<double>(n) * elem_bytes;
+      stats->buckets.written += static_cast<double>(n) * elem_bytes;
+    }
+  }
+}
+
+/// Top-level entry: allocates the scatter buffer through the first-touch
+/// allocator configured with the caller's policy, so bucket pages spread
+/// across the NUMA nodes of the threads that will sort them (paper
+/// Listing 5 discipline), runs the pipeline, and publishes the traffic
+/// snapshot + region counters.
+template <bool Stable, backends::Backend B, class Policy, class It,
+          class Compare>
+void parallel_samplesort(const B& be, const Policy& policy, It first,
+                         index_t n, Compare comp) {
+  using T = typename std::iterator_traits<It>::value_type;
+  const samplesort_params params = samplesort_params::from_env();
+  auto& stats = begin_sort_traffic("sample", n, sizeof(T));
+  using alloc_t = numa::first_touch_allocator<T, std::decay_t<Policy>>;
+  std::vector<T, alloc_t> buffer(static_cast<std::size_t>(n),
+                                 alloc_t{policy});
+  samplesort_segment<Stable>(be, first, buffer.begin(), n, comp, params, 0,
+                             &stats);
+  commit_sort_traffic(stats);
+}
+
+}  // namespace pstlb::detail

@@ -34,8 +34,13 @@ const std::vector<std::string_view>& known_vars() {
       "PSTLB_FAULT_SEED",         // fault injection: deterministic draw seed
       "PSTLB_FIG5_NATIVE_LOG2",   // fig5 native sweep: max log2 size
       "PSTLB_FIG5_NATIVE_REPS",   // fig5 native sweep: repetitions
+      "PSTLB_FIG7_NATIVE_LOG2",   // fig7 native sort sweep: max log2 size
+      "PSTLB_FIG7_NATIVE_REPS",   // fig7 native sort sweep: repetitions
       "PSTLB_SCAN_CHUNK",         // scan skeleton: min elements per chunk
       "PSTLB_SCAN_OVERSUB",       // scan skeleton: chunks per slot
+      "PSTLB_SORT",               // sort pipeline override: sample | merge
+      "PSTLB_SORT_BUCKET_CAP",    // samplesort: target max bucket elements
+      "PSTLB_SORT_OVERSAMPLE",    // samplesort: splitter oversampling factor
       "PSTLB_TRACE",              // scheduler tracing on/off
       "PSTLB_TRACE_FILE",         // Chrome-trace/Perfetto JSON export path
       "PSTLB_TRACE_RING",         // per-thread event-ring capacity

@@ -55,6 +55,21 @@ enum class scan_skeleton {
   single_pass,
 };
 
+/// Which parallel sort pipeline a policy uses (see DESIGN.md §13
+/// "Samplesort"). The environment knob PSTLB_SORT=sample|merge overrides the
+/// policy for ablation runs.
+enum class sort_path {
+  /// Samplesort above the policy's sample_sort_min, mergesort below it
+  /// (splitter selection and bucket bookkeeping are pure overhead on inputs
+  /// a couple of merge rounds finish in cache).
+  automatic,
+  /// Always the counting samplesort (detail/samplesort.hpp).
+  sample,
+  /// Always the block-sort + merge-rounds mergesort (multiway_sort selects
+  /// GNU's single R-way round instead of log2(R) pairwise rounds).
+  merge,
+};
+
 namespace detail {
 struct parallel_policy_base {
   /// Participants for parallel loops.
@@ -66,7 +81,14 @@ struct parallel_policy_base {
   index_t seq_threshold = 0;
   /// Sort strategy: one R-way merge pass (GNU parallel mode's multiway
   /// mergesort — Section 5.6) instead of log2(R) binary merge rounds.
+  /// Consulted only when the mergesort pipeline runs (see `sort`).
   bool multiway_sort = false;
+  /// Parallel sort pipeline selection (PSTLB_SORT overrides at runtime).
+  sort_path sort = sort_path::automatic;
+  /// `automatic` routes inputs of at least this many elements to samplesort;
+  /// smaller ones keep the mergesort, whose merge rounds stay cache-resident
+  /// at that scale.
+  index_t sample_sort_min = index_t{1} << 16;
   /// Scan/pack skeleton selection. Defaults to the single-pass lookback
   /// skeleton; profiles that model backends without a chained scan
   /// (NVC-OMP) pin this to two_pass in their constructor.

@@ -24,7 +24,9 @@ void write_event(std::ostream& os, const event& e, std::uint32_t tid) {
      << pool_name(e.pool) << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
   write_us(os, e.begin_ns);
   const bool span = e.kind == event_kind::chunk || e.kind == event_kind::idle ||
-                    e.kind == event_kind::region || e.kind == event_kind::lookback;
+                    e.kind == event_kind::region ||
+                    e.kind == event_kind::lookback ||
+                    e.kind == event_kind::phase;
   if (span) {
     os << ",\"ph\":\"X\",\"dur\":";
     write_us(os, e.end_ns > e.begin_ns ? e.end_ns - e.begin_ns : 0);
@@ -34,6 +36,7 @@ void write_event(std::ostream& os, const event& e, std::uint32_t tid) {
   os << ",\"args\":{\"";
   switch (e.kind) {
     case event_kind::chunk: os << "elems"; break;
+    case event_kind::phase: os << "phase"; break;
     case event_kind::steal_ok:
     case event_kind::steal_fail: os << "victim"; break;
     default: os << "arg"; break;

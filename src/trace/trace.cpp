@@ -250,6 +250,7 @@ std::string_view kind_name(event_kind k) noexcept {
     case event_kind::steal_fail: return "steal_fail";
     case event_kind::spawn: return "spawn";
     case event_kind::split: return "split";
+    case event_kind::phase: return "phase";
   }
   return "unknown";
 }
@@ -261,6 +262,7 @@ std::string_view pool_name(pool_id p) noexcept {
     case pool_id::steal: return "steal";
     case pool_id::task_queue: return "task_queue";
     case pool_id::scan: return "scan";
+    case pool_id::sort: return "sort";
   }
   return "unknown";
 }

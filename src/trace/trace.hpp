@@ -51,17 +51,23 @@ enum class event_kind : std::uint8_t {
   steal_fail = 5,  // instant: empty-handed steal attempt; arg = victim tid
   spawn = 6,       // instant: heap-allocated task submitted (futures model)
   split = 7,       // instant: range split shed into a deque (steal model)
+  phase = 8,       // span: one sort-pipeline phase; arg = phase ordinal
+                   // (samplesort: 0 sample, 1 classify, 2 scatter, 3 buckets;
+                   // mergesort: 0 block_sort, 1.. merge rounds)
 };
 
 /// Which scheduling substrate produced an event. `scan` marks the
 /// decoupled-lookback skeleton, which runs *on top of* a pool but whose
-/// chunk protocol is its own scheduling layer.
+/// chunk protocol is its own scheduling layer; `sort` likewise marks the
+/// samplesort/mergesort pipelines, whose phase spans are emitted by the
+/// orchestrating thread above whatever pool executes the chunks.
 enum class pool_id : std::uint8_t {
   none = 0,
   fork_join = 1,
   steal = 2,
   task_queue = 3,
   scan = 4,
+  sort = 5,
 };
 
 struct event {

@@ -149,6 +149,39 @@ TEST_P(FuzzDifferential, SortMergePartitionFamily) {
   });
 }
 
+TEST_P(FuzzDifferential, SamplesortPipeline) {
+  // Same differential checks with the sort pinned to the samplesort
+  // pipeline (the size-threshold default would route these small fuzz
+  // inputs to mergesort and never exercise it).
+  rng r(std::get<0>(GetParam()) * 17 + 6);
+  with_policy([&](auto policy) {
+    if constexpr (pstlb::exec::ParallelPolicy<decltype(policy)>) {
+      policy.sort = pstlb::exec::sort_path::sample;
+    }
+    for (int round = 0; round < 4; ++round) {
+      const long long mods[]{2, 10, 100000};
+      auto v = input(r, 20000, mods[static_cast<std::size_t>(round) % 3]);
+      auto expected = v;
+      std::sort(expected.begin(), expected.end());
+      pstlb::sort(policy, v.begin(), v.end());
+      ASSERT_EQ(v, expected);
+
+      // Stability differential: pair each key with its original index and
+      // compare against std::stable_sort on the key alone.
+      auto w = input(r, 20000, 50);
+      std::vector<std::pair<long long, index_t>> tagged(w.size());
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        tagged[i] = {w[i], static_cast<index_t>(i)};
+      }
+      auto tagged_expected = tagged;
+      auto by_key = [](const auto& a, const auto& b) { return a.first < b.first; };
+      std::stable_sort(tagged_expected.begin(), tagged_expected.end(), by_key);
+      pstlb::stable_sort(policy, tagged.begin(), tagged.end(), by_key);
+      ASSERT_EQ(tagged, tagged_expected);
+    }
+  });
+}
+
 TEST_P(FuzzDifferential, SetFamily) {
   rng r(std::get<0>(GetParam()) * 13 + 5);
   with_policy([&](auto policy) {

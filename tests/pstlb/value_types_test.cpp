@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -127,6 +130,72 @@ TEST(MoveOnlyish, SortOfHeavyValuesMovesNotCopies) {
   // All payloads intact (none moved-from/empty).
   EXPECT_TRUE(std::all_of(v.begin(), v.end(),
                           [](const heavy& h) { return h.payload.size() == 50; }));
+}
+
+TEST(MoveOnly, SortFallsBackToMergesortPipeline) {
+  // Samplesort needs copy-constructible values (materialized splitters);
+  // move-only types must silently take the mergesort pipeline — even when
+  // the policy demands samplesort — and still sort correctly.
+  struct move_only {
+    std::unique_ptr<int> p;
+    move_only() = default;
+    explicit move_only(int v) : p(std::make_unique<int>(v)) {}
+    move_only(move_only&&) = default;
+    move_only& operator=(move_only&&) = default;
+  };
+  auto pol = pstlb::test::make_eager<pstlb::exec::steal_policy>();
+  pol.sort = pstlb::exec::sort_path::sample;
+  std::vector<move_only> v;
+  for (int i = 0; i < 20000; ++i) { v.emplace_back((i * 733) % 9973); }
+  auto less = [](const move_only& a, const move_only& b) { return *a.p < *b.p; };
+  pstlb::sort(pol, v.begin(), v.end(), less);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), less));
+  EXPECT_TRUE(std::all_of(v.begin(), v.end(),
+                          [](const move_only& m) { return m.p != nullptr; }));
+}
+
+// Copy constructor that throws on a schedule (local classes cannot hold the
+// static counters). Armed only inside the test below.
+struct flaky {
+  int key = 0;
+  static inline std::atomic<int> copies{0};
+  static inline std::atomic<bool> arm{false};
+  flaky() = default;
+  explicit flaky(int k) : key(k) {}
+  flaky(const flaky& o) : key(o.key) {
+    if (arm.load() && copies.fetch_add(1) % 197 == 196) {
+      throw std::runtime_error("copy failed");
+    }
+  }
+  flaky& operator=(const flaky&) = default;
+  flaky(flaky&&) = default;
+  flaky& operator=(flaky&&) = default;
+};
+
+TEST(ThrowingCopy, SamplesortSurvivesSplitterCopyThrow) {
+  // Splitter sampling copies elements; a copy constructor that throws must
+  // propagate as exactly one exception, not hang or crash the pipeline.
+  auto pol = pstlb::test::make_eager<pstlb::exec::steal_policy>();
+  pol.sort = pstlb::exec::sort_path::sample;
+  std::vector<flaky> v;
+  for (int i = 0; i < 30000; ++i) { v.emplace_back((i * 419) % 10007); }
+  flaky::arm.store(true);
+  int caught = 0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    try {
+      pstlb::sort(pol, v.begin(), v.end(),
+                  [](const flaky& a, const flaky& b) { return a.key < b.key; });
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+  }
+  flaky::arm.store(false);
+  EXPECT_GT(caught, 0);  // the sampling pass makes >197 copies per sort
+  pstlb::sort(pol, v.begin(), v.end(),
+              [](const flaky& a, const flaky& b) { return a.key < b.key; });
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), [](const flaky& a, const flaky& b) {
+    return a.key < b.key;
+  }));
 }
 
 }  // namespace
