@@ -1,7 +1,10 @@
 // Ablation: the NUMA-management decay constant (numa_gamma) — the single
-// most influential calibrated parameter of the simulation (DESIGN.md §5).
-// Sweeping it on each machine shows how unpinned multi-node bandwidth decay
-// alone spans the whole observed backend range of Table 5's for_each column.
+// most influential calibrated parameter of the simulation (DESIGN.md §5) —
+// plus the explicit steal-locality model (DESIGN.md §14): uniform random
+// stealing vs locality-first victim order vs locality-first with node-affine
+// buffer placement, on the 8-node 128-core machine.
+#include <algorithm>
+
 #include "common.hpp"
 
 namespace pstlb::bench {
@@ -12,6 +15,55 @@ sim::kernel_params params() {
   p.kind = sim::kernel::for_each;
   p.n = kN30;
   return p;
+}
+
+sim::kernel_params params_for(sim::kernel k) {
+  sim::kernel_params p;
+  p.kind = k;
+  p.n = kN30;
+  return p;
+}
+
+struct locality_mode {
+  const char* name;
+  sim::steal_locality locality;
+  numa::placement alloc;
+};
+
+constexpr locality_mode kLocalityModes[] = {
+    {"uniform", sim::steal_locality::uniform, numa::placement::parallel_touch},
+    {"locality_first", sim::steal_locality::locality_first,
+     numa::placement::parallel_touch},
+    {"locality_affine", sim::steal_locality::locality_first,
+     numa::placement::node_affine_touch},
+};
+
+constexpr sim::kernel kLocalityKernels[] = {sim::kernel::sort,
+                                            sim::kernel::inclusive_scan};
+
+const char* kernel_label(sim::kernel k) {
+  return k == sim::kernel::sort ? "sort" : "inclusive_scan";
+}
+
+/// Registers one locality-ablation gbench entry (emitted into
+/// BENCH_numa.json by CI) whose iteration time is the simulated seconds.
+void register_locality_benchmark(const std::string& name, const sim::machine& m,
+                                 sim::kernel kind, unsigned threads,
+                                 const locality_mode& mode) {
+  benchmark::RegisterBenchmark(
+      name.c_str(), [&m, kind, threads, mode](benchmark::State& state) {
+        const auto p = params_for(kind);
+        double seconds = 0;
+        for (auto _ : state) {
+          const auto r = sim::run_with_locality(m, sim::profiles::gcc_tbb(), p,
+                                                threads, mode.locality, mode.alloc);
+          seconds = r.supported ? r.seconds : 0.0;
+          state.SetIterationTime(seconds > 0 ? seconds : 1e-9);
+        }
+        state.counters["sim_seconds"] = seconds;
+        state.counters["speedup_vs_gcc_seq"] =
+            seconds > 0 ? sim::gcc_seq_seconds(m, p) / seconds : 0.0;
+      })->UseManualTime();
 }
 
 sim::backend_profile with_gamma(double gamma) {
@@ -27,6 +79,13 @@ void register_benchmarks() {
     keep.push_back(with_gamma(gamma));
     register_sim_benchmark("abl/numa_gamma/MachC/gamma_" + fmt(gamma, 2),
                            sim::machines::mach_c(), keep.back(), params(), 128);
+  }
+  for (sim::kernel k : kLocalityKernels) {
+    for (const locality_mode& mode : kLocalityModes) {
+      register_locality_benchmark(std::string("abl/steal_locality/MachC/") +
+                                      kernel_label(k) + "/" + mode.name,
+                                  sim::machines::mach_c(), k, 128, mode);
+    }
   }
 }
 
@@ -48,7 +107,33 @@ void report(std::ostream& os) {
   os << "Reading: gamma=0.1-0.4 spans the TBB/GNU/NVC range of Table 5;\n"
         "gamma=1.6 reproduces the HPX collapse; the single-NUMA-domain ARM\n"
         "machine is insensitive by construction — the paper's Table 6 insight\n"
-        "(backends rarely scale past one node) in one knob.\n";
+        "(backends rarely scale past one node) in one knob.\n\n";
+
+  table loc("Ablation: steal locality, gcc_tbb profile, all cores "
+            "(sim seconds; speedup = uniform / mode)");
+  loc.set_header({"kernel / machine", "uniform", "locality_first",
+                  "locality_first + node-affine", "best speedup"});
+  for (sim::kernel k : kLocalityKernels) {
+    for (const sim::machine* m :
+         {&sim::machines::mach_c(), &sim::machines::mach_f()}) {
+      std::vector<double> secs;
+      for (const locality_mode& mode : kLocalityModes) {
+        secs.push_back(sim::run_with_locality(*m, sim::profiles::gcc_tbb(),
+                                              params_for(k), m->cores,
+                                              mode.locality, mode.alloc)
+                           .seconds);
+      }
+      loc.add_row({std::string(kernel_label(k)) + " / " + m->name,
+                   fmt(secs[0], 4), fmt(secs[1], 4), fmt(secs[2], 4),
+                   fmt(secs[0] / std::min(secs[1], secs[2]), 2) + "x"});
+    }
+  }
+  loc.print(os);
+  os << "Reading: on the 8-node Mach C, locality-first stealing recovers most\n"
+        "of the remote-traffic penalty the uniform-victim model pays, and the\n"
+        "node-affine scatter placement recovers the rest; on the single-node\n"
+        "Mach F all three columns are identical — the locality machinery is a\n"
+        "structural no-op without a second node (DESIGN.md §14).\n";
 }
 
 }  // namespace

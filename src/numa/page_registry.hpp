@@ -16,8 +16,9 @@
 namespace pstlb::numa {
 
 enum class placement {
-  sequential_touch,  // default allocator behaviour: all pages on one node
-  parallel_touch,    // pSTL-Bench custom allocator: pages spread by chunk owner
+  sequential_touch,   // default allocator behaviour: all pages on one node
+  parallel_touch,     // pSTL-Bench custom allocator: pages spread by chunk owner
+  node_affine_touch,  // scatter buffers: pages placed on the bucket-owning node
 };
 
 struct allocation_info {

@@ -1,12 +1,28 @@
-// Host topology discovery (page size, NUMA node count, core count).
+// Host topology discovery (page size, NUMA node count, core count) and the
+// cpu hierarchy tree (node > LLC > physical core > SMT sibling).
 //
 // On the paper's machines this reports 2 or 8 NUMA nodes; inside a plain
 // container it usually reports a single node. The simulator (src/sim) does
 // not use this — it carries its own Machine descriptions from Table 2 —
-// but the native allocator and the native benches do.
+// but the native allocator, the locality-aware steal scheduler and the
+// native benches do.
+//
+// The hierarchy is discovered from sysfs (`/sys/devices/system`), but every
+// parser takes the tree root as a parameter so tests can point it at fixture
+// trees, and PSTLB_TOPOLOGY can override discovery entirely:
+//
+//   PSTLB_TOPOLOGY=auto      sysfs discovery (default)
+//   PSTLB_TOPOLOGY=flat      single node / single LLC (disables locality)
+//   PSTLB_TOPOLOGY=NxLxC[xS] synthetic: N nodes x L LLCs per node x
+//                            C physical cores per LLC x S SMT threads per
+//                            core (default 1); cpu ids are node-major
 #pragma once
 
 #include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <string_view>
+#include <vector>
 
 namespace pstlb::numa {
 
@@ -18,5 +34,43 @@ struct topology_info {
 
 /// Cached process-wide topology snapshot.
 const topology_info& topology();
+
+/// The cpu hierarchy. Ids are dense: node ids in [0, nodes), LLC ids in
+/// [0, llcs) unique across nodes, core ids in [0, cores) unique across LLCs.
+/// SMT siblings share a core id.
+struct topology_tree {
+  unsigned cpus = 1;
+  unsigned nodes = 1;
+  unsigned llcs = 1;
+  unsigned cores = 1;
+  std::vector<unsigned> node_of_cpu;  // size cpus
+  std::vector<unsigned> llc_of_cpu;   // size cpus
+  std::vector<unsigned> core_of_cpu;  // size cpus
+
+  /// True when the hierarchy carries no locality information (one node and
+  /// one LLC) — locality-aware scheduling degrades to uniform stealing.
+  bool flat() const noexcept { return nodes <= 1 && llcs <= 1; }
+};
+
+/// Degenerate tree: one node, one LLC, every cpu its own core.
+topology_tree flat_tree(unsigned cpus);
+
+/// Parses the synthetic "NxLxC[xS]" spec (see header comment). Returns
+/// nullopt on malformed input or zero components.
+std::optional<topology_tree> parse_topology_spec(std::string_view spec);
+
+/// Discovers the hierarchy from a sysfs-shaped tree: `root/node/nodeN/cpulist`
+/// for node membership, `root/cpu/cpuN/cache/index3/shared_cpu_list` (index2
+/// as fallback) for LLC sharing, `root/cpu/cpuN/topology/thread_siblings_list`
+/// for SMT. Missing pieces degrade gracefully: no node dirs -> one node, no
+/// cache info -> one LLC per node, no siblings info -> one cpu per core.
+/// `cpu_fallback` bounds the cpu count when `root/cpu` has no cpuN entries.
+topology_tree discover_tree(const std::filesystem::path& root,
+                            unsigned cpu_fallback);
+
+/// Process-wide hierarchy honoring PSTLB_TOPOLOGY. The env variable is
+/// re-read on each call (tests toggle it); results are cached per spec
+/// string, so returned references stay valid for the process lifetime.
+const topology_tree& tree();
 
 }  // namespace pstlb::numa

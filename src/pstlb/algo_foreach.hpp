@@ -21,6 +21,11 @@ namespace pstlb {
 template <exec::ExecutionPolicy P, class It, class F>
 void for_each(P&& policy, It first, It last, F f) {
   const index_t n = std::distance(first, last);
+  // NUMA placement hint for the steal scheduler: the loop at index i touches
+  // first[i]; chunks seed onto the node whose pages they read (see
+  // sched/locality.hpp). The same pattern marks the other flagship
+  // bandwidth-bound kernels (reduce, transform_reduce, scan).
+  const auto hint = exec::data_hint(first);
   exec::dispatch<It>(
       policy, n, [&] { std::for_each(first, last, f); },
       [&](auto be, index_t grain) {
@@ -34,6 +39,7 @@ template <exec::ExecutionPolicy P, class It, class Size, class F>
 It for_each_n(P&& policy, It first, Size count, F f) {
   if (count <= Size{0}) { return first; }
   const index_t n = static_cast<index_t>(count);
+  const auto hint = exec::data_hint(first);
   exec::dispatch<It>(
       policy, n, [&] { std::for_each_n(first, count, f); },
       [&](auto be, index_t grain) {
@@ -47,6 +53,7 @@ It for_each_n(P&& policy, It first, Size count, F f) {
 template <exec::ExecutionPolicy P, class It, class Out, class F>
 Out transform(P&& policy, It first, It last, Out out, F f) {
   const index_t n = std::distance(first, last);
+  const auto hint = exec::data_hint(first);
   return exec::dispatch<It, Out>(
       policy, n, [&] { return std::transform(first, last, out, f); },
       [&](auto be, index_t grain) {

@@ -21,6 +21,8 @@ namespace pstlb {
 template <exec::ExecutionPolicy P, class It, class T, class Op>
 T reduce(P&& policy, It first, It last, T init, Op op) {
   const index_t n = std::distance(first, last);
+  // NUMA placement hint: chunks seed onto the node owning first[i]'s pages.
+  const auto hint = exec::data_hint(first);
   return exec::dispatch<It>(
       policy, n, [&] { return std::reduce(first, last, std::move(init), op); },
       [&](auto be, index_t grain) {
@@ -49,6 +51,7 @@ template <exec::ExecutionPolicy P, class It, class T, class Reduce, class Transf
 T transform_reduce(P&& policy, It first, It last, T init, Reduce reduce_op,
                    Transform transform_op) {
   const index_t n = std::distance(first, last);
+  const auto hint = exec::data_hint(first);
   return exec::dispatch<It>(
       policy, n,
       [&] {

@@ -65,6 +65,8 @@ Out scan_impl(P&& policy, It first, It last, Out out, std::optional<T> init, Op 
   };
 
   using in_t = typename std::iterator_traits<It>::value_type;
+  // NUMA placement hint: chunks seed onto the node owning first[i]'s pages.
+  const auto hint = exec::data_hint(first);
   return exec::dispatch<It, Out>(
       policy, n,
       [&] {

@@ -20,6 +20,12 @@ bool truthy(const char* name) {
   return raw != nullptr && *raw != '\0' && std::strcmp(raw, "0") != 0;
 }
 
+bool enabled_or(const char* name, bool fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') { return fallback; }
+  return std::strcmp(raw, "0") != 0;
+}
+
 std::string string_or(const char* name, std::string_view fallback) {
   const char* raw = std::getenv(name);
   return (raw == nullptr || *raw == '\0') ? std::string(fallback) : std::string(raw);
@@ -36,11 +42,14 @@ const std::vector<std::string_view>& known_vars() {
       "PSTLB_FIG5_NATIVE_REPS",   // fig5 native sweep: repetitions
       "PSTLB_FIG7_NATIVE_LOG2",   // fig7 native sort sweep: max log2 size
       "PSTLB_FIG7_NATIVE_REPS",   // fig7 native sort sweep: repetitions
+      "PSTLB_NUMA_SCATTER",       // 0 disables node-affine samplesort scatter
       "PSTLB_SCAN_CHUNK",         // scan skeleton: min elements per chunk
       "PSTLB_SCAN_OVERSUB",       // scan skeleton: chunks per slot
       "PSTLB_SORT",               // sort pipeline override: sample | merge
       "PSTLB_SORT_BUCKET_CAP",    // samplesort: target max bucket elements
       "PSTLB_SORT_OVERSAMPLE",    // samplesort: splitter oversampling factor
+      "PSTLB_STEAL_LOCALITY",     // 0 disables locality-first steal ordering
+      "PSTLB_TOPOLOGY",           // auto | flat | NxLxC[xS] synthetic spec
       "PSTLB_TRACE",              // scheduler tracing on/off
       "PSTLB_TRACE_FILE",         // Chrome-trace/Perfetto JSON export path
       "PSTLB_TRACE_RING",         // per-thread event-ring capacity

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <memory>
 #include <thread>
 #include <type_traits>
 
@@ -28,6 +29,7 @@
 #include "backends/steal.hpp"
 #include "backends/task_futures.hpp"
 #include "pstlb/common.hpp"
+#include "sched/locality.hpp"
 
 namespace pstlb::exec {
 
@@ -194,6 +196,28 @@ inline constexpr bool random_access_v =
 
 template <class... Its>
 inline constexpr bool all_random_access_v = (random_access_v<Its> && ...);
+
+/// RAII NUMA data hint installed by algorithm front-ends around dispatch:
+/// declares that the parallel loop at index i touches element `first + i`
+/// (times `stride_elems` for loops whose index spans several elements). The
+/// locality-aware steal scheduler resolves the pointer through
+/// numa::page_registry to seed each NUMA node with the chunks whose pages it
+/// owns. Non-contiguous iterators produce a disengaged hint, and unregistered
+/// memory resolves to "no information" downstream — both degrade to the
+/// legacy single root seed, never to an error.
+template <class It>
+sched::scoped_data_hint data_hint(It first, index_t stride_elems = 1) {
+  if constexpr (std::contiguous_iterator<It>) {
+    using value_type = typename std::iterator_traits<It>::value_type;
+    return sched::scoped_data_hint(
+        std::to_address(first),
+        static_cast<std::size_t>(stride_elems) * sizeof(value_type));
+  } else {
+    (void)first;
+    (void)stride_elems;
+    return sched::scoped_data_hint();
+  }
+}
 
 /// Central dispatch: runs `par_fn(backend, grain)` when the policy, input
 /// size and nesting situation allow parallel execution, otherwise `seq_fn()`.

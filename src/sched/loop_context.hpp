@@ -36,6 +36,13 @@ struct loop_context {
   /// Pool label for watchdog diagnostics ("steal", "task_queue", ...).
   /// Must be a string literal.
   const char* name = "loop";
+  /// Optional placement map for locality-aware pools: chunk `c`'s data is
+  /// expected on NUMA node `chunk_home(home_state, c)`. Consulted at seed
+  /// time only — execution stays work-stealing, so a wrong map costs
+  /// locality, never correctness. Null means "derive from the caller's
+  /// sched::data_hint, or seed everything to the caller".
+  unsigned (*chunk_home)(const void* state, index_t chunk) = nullptr;
+  const void* home_state = nullptr;
 
   index_t num_chunks() const noexcept {
     return n == 0 ? 0 : ceil_div(n, grain);

@@ -1,13 +1,35 @@
 #include "sched/steal_pool.hpp"
 
 #include <algorithm>
-#include <random>
 #include <thread>
 
+#include "pstlb/env.hpp"
 #include "sched/watchdog.hpp"
 #include "trace/trace.hpp"
 
 namespace pstlb::sched {
+
+namespace {
+
+/// splitmix64 (Steele, Lea & Flood): the per-thread victim RNG. Each worker
+/// owns an independent stream keyed by (seed, tid), so victim choices are
+/// uncorrelated across workers yet reproducible run-to-run under
+/// PSTLB_FAULT_SEED — the same knob that makes fault injection replayable.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t steal_seed_base() {
+  static const std::uint64_t base =
+      env::unsigned_or("PSTLB_FAULT_SEED", 0x9E3779B9u);
+  return base;
+}
+
+}  // namespace
 
 steal_pool::steal_pool(unsigned workers)
     : pool_(workers, "steal", trace::pool_id::steal) {
@@ -18,6 +40,18 @@ void steal_pool::ensure_deques(unsigned participants) {
   while (deques_.size() < participants) {
     deques_.push_back(std::make_unique<chase_lev_deque<packed_chunks>>());
   }
+}
+
+const locality_plan* steal_pool::plan_for(unsigned participants) {
+  if (!steal_locality_enabled()) { return nullptr; }
+  const numa::topology_tree& topo = numa::tree();
+  if (topo.flat()) { return nullptr; }
+  const auto key = std::make_pair(&topo, participants);
+  auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    it = plans_.emplace(key, make_locality_plan(topo, participants)).first;
+  }
+  return it->second.active() ? &it->second : nullptr;
 }
 
 void steal_pool::run(unsigned participants, const loop_context& ctx) {
@@ -41,31 +75,64 @@ void steal_pool::run(unsigned participants, const loop_context& ctx) {
     return;
   }
 
+  // Placement planning reads the calling thread's TLS hints, so it must
+  // happen before the lock hand-off to worker threads.
+  const locality_plan* plan = plan_for(participants);
+  std::vector<chunk_seed> seeds;
+  if (plan != nullptr) {
+    seeds = plan_chunk_seeds(run_ctx, *plan, chunks);
+  } else {
+    seeds.push_back(chunk_seed{0, 0, static_cast<std::uint32_t>(chunks)});
+  }
+
   std::lock_guard guard(run_mutex_);
   watchdog::scope monitor(*run_ctx.errors, "steal");
   // Everything that can throw (deque growth, worker spawn, closure
-  // allocation) happens before the root range is seeded, so a failed setup
-  // leaves no stale work behind for the next run.
+  // allocation) happens before the ranges are seeded — and a failed push
+  // mid-seeding drains what was already pushed — so a failed setup leaves
+  // no stale work behind for the next run.
   ensure_deques(participants);
   pool_.ensure(participants);
   const thread_pool::region_fn work_fn = [this](unsigned tid, unsigned nthreads) {
     work(tid, nthreads);
   };
   ctx_ = &run_ctx;
+  active_plan_ = plan;
   remaining_.store(chunks, std::memory_order_release);
-  // Seed the whole iteration space as one root range in the caller's deque;
-  // the splitting tree unfolds from here (TBB auto_partitioner style).
-  deques_[0]->push(pack_chunks(0, static_cast<std::uint32_t>(chunks)));
+  // Seed each planned range into its node leader's deque (one root range in
+  // the caller's deque on flat topologies); the splitting trees unfold from
+  // there (TBB auto_partitioner style).
+  std::size_t seeded = 0;
+  try {
+    for (const chunk_seed& s : seeds) {
+      PSTLB_EXPECTS(s.tid < participants && s.begin < s.end);
+      deques_[s.tid]->push(pack_chunks(s.begin, s.end));
+      ++seeded;
+    }
+  } catch (...) {
+    for (std::size_t i = 0; i < seeded; ++i) { deques_[seeds[i].tid]->pop(); }
+    remaining_.store(0, std::memory_order_release);
+    ctx_ = nullptr;
+    active_plan_ = nullptr;
+    throw;
+  }
 
   pool_.run(participants, work_fn);
   ctx_ = nullptr;
+  active_plan_ = nullptr;
   run_ctx.errors->rethrow();
 }
 
 void steal_pool::work(unsigned tid, unsigned nthreads) {
   const loop_context& ctx = *ctx_;
+  const locality_plan* plan = active_plan_;
   auto& mine = *deques_[tid];
-  std::minstd_rand rng(tid * 0x9E3779B9u + 0x85EBCA6Bu);
+  std::uint64_t rng = steal_seed_base() ^ (0xD1B54A32D192ED03ull * (tid + 1));
+  // Locality-first probing: walk the victim order once (nearest first), then
+  // take one uniform random probe before restarting the sweep. The random
+  // probe keeps every deque reachable even when the ordered sweep races with
+  // in-flight splits; a successful steal resets the sweep to nearest-first.
+  std::size_t sweep = 0;
   int idle_spins = 0;
   // Tracing: one idle span covers the whole out-of-work interval (first
   // failed pop until work is found or the loop drains), not every spin.
@@ -79,10 +146,24 @@ void steal_pool::work(unsigned tid, unsigned nthreads) {
                            idle_since);
         return;
       }
-      const unsigned victim = static_cast<unsigned>(rng()) % nthreads;
+      unsigned victim;
+      if (plan != nullptr) {
+        const std::vector<unsigned>& order = plan->victims[tid];
+        if (sweep < order.size()) {
+          victim = order[sweep++];
+        } else {
+          sweep = 0;
+          victim = static_cast<unsigned>(splitmix64(rng) % nthreads);
+        }
+      } else {
+        victim = static_cast<unsigned>(splitmix64(rng) % nthreads);
+      }
       if (victim != tid) {
         item = deques_[victim]->steal();
-        trace::count_steal(trace::pool_id::steal, item.has_value(), victim);
+        const bool local =
+            plan == nullptr || plan->node_of[victim] == plan->node_of[tid];
+        trace::count_steal(trace::pool_id::steal, item.has_value(), victim,
+                           local);
       }
       if (!item) {
         if (idle_since == 0) { idle_since = trace::span_begin(); }
@@ -94,6 +175,7 @@ void steal_pool::work(unsigned tid, unsigned nthreads) {
       }
     }
     idle_spins = 0;
+    sweep = 0;
     trace::record_span(trace::pool_id::steal, trace::event_kind::idle, idle_since);
     idle_since = 0;
 

@@ -1,17 +1,28 @@
 // Work-stealing loop scheduler (the TBB-like substrate).
 //
-// Execution model mirrors TBB's auto_partitioner: the caller seeds one root
-// range covering all chunks; participants lazily binary-split ranges from the
-// bottom of their own Chase–Lev deque and steal from random victims when out
-// of local work. Loads balance through the splitting tree rather than a
-// central queue.
+// Execution model mirrors TBB's auto_partitioner: the caller seeds root
+// ranges covering all chunks; participants lazily binary-split ranges from the
+// bottom of their own Chase–Lev deque and steal from victims when out of
+// local work. Loads balance through the splitting tree rather than a central
+// queue.
+//
+// Topology awareness (multi-node hosts or a PSTLB_TOPOLOGY override): the
+// iteration space is pre-partitioned by sched::plan_chunk_seeds — each NUMA
+// node's leader deque is seeded with the chunks whose pages its node owns —
+// and thieves probe victims in locality-first order (same LLC, same node,
+// then remote, with a uniform random probe between sweeps so no subset of
+// deques is ever unreachable). On flat topologies both mechanisms reduce to
+// the original single-root-seed + uniform-random-victim behaviour.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "sched/chase_lev_deque.hpp"
+#include "sched/locality.hpp"
 #include "sched/loop_context.hpp"
 #include "sched/thread_pool.hpp"
 
@@ -35,12 +46,20 @@ class steal_pool {
  private:
   void work(unsigned tid, unsigned nthreads);
   void ensure_deques(unsigned participants);
+  const locality_plan* plan_for(unsigned participants);
 
   thread_pool pool_;
   std::mutex run_mutex_;
   std::vector<std::unique_ptr<chase_lev_deque<packed_chunks>>> deques_;
   const loop_context* ctx_ = nullptr;
   std::atomic<index_t> remaining_{0};
+  // Active run's locality plan (null = uniform stealing). Written under
+  // run_mutex_ before workers start, cleared after they join.
+  const locality_plan* active_plan_ = nullptr;
+  // Plans are pure functions of (topology, participants); cached per pair
+  // since the tree reference is stable per PSTLB_TOPOLOGY spec.
+  std::map<std::pair<const numa::topology_tree*, unsigned>, locality_plan>
+      plans_;
 };
 
 }  // namespace pstlb::sched

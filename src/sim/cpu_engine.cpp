@@ -163,10 +163,11 @@ engine_result simulate_cpu(const engine_config& config) {
   // seq_touch_efficient kernels see spread-equivalent placement even under
   // the default allocator (Fig. 1's find/inclusive_scan observation).
   const bool spread = !sequential &&
-                      (config.alloc == numa::placement::parallel_touch ||
+                      (config.alloc != numa::placement::sequential_touch ||
                        tune.seq_touch_efficient);
-  // first_touch_penalty only applies when the *custom* allocator was used.
-  const bool custom_alloc = config.alloc == numa::placement::parallel_touch;
+  // first_touch_penalty only applies when the *custom* allocator was used
+  // (parallel or node-affine touch — both go through it).
+  const bool custom_alloc = config.alloc != numa::placement::sequential_touch;
   // numa_gamma models the cost of managing *spread* data across nodes; with
   // everything on node 0 the bottleneck is that node's controllers instead.
   unsigned nodes_in_use = 1;
@@ -184,6 +185,33 @@ engine_result simulate_cpu(const engine_config& config) {
   // pay overhead but do not execute chunks.
   const unsigned exec_threads = static_cast<unsigned>(
       std::min<double>(threads, std::max(1.0, tune.max_threads)));
+
+  const bool dynamic = prof.engine != sched_kind::static_chunks;
+  // Explicit steal-locality model (legacy keeps the calibrated numbers:
+  // remote traffic is already folded into numa_gamma there). A uniform
+  // random thief lands on the victim's node with probability 1/nodes, so
+  // (1 - 1/nodes) of dynamically scheduled chunk traffic crosses the
+  // interconnect at remote_bw_factor of the local rate. Locality-first
+  // stealing keeps chunks home except the tail the balancer migrates:
+  // ~15% of chunks with plain parallel-touch seeding, ~5% once the
+  // node-affine placement protocol also homes the scatter buffers.
+  double locality_mult = 1.0;
+  double locality_chunk_s = 0.0;
+  if (config.locality != steal_locality::legacy && dynamic && spread &&
+      nodes_in_use > 1) {
+    const double cross = 1.0 - 1.0 / static_cast<double>(nodes_in_use);
+    double remote_frac = cross;
+    if (config.locality == steal_locality::locality_first) {
+      remote_frac = cross * (config.alloc == numa::placement::node_affine_touch
+                                 ? 0.05
+                                 : 0.15);
+      // Victim ordering + page-registry seeding are not free: each chunk
+      // pays a small placement decision on the critical path.
+      locality_chunk_s = 25e-9;
+    }
+    locality_mult = (1.0 - remote_frac) +
+                    remote_frac / std::max(0.05, m.remote_bw_factor);
+  }
 
   double total_s = 0;
   result.phases.reserve(phases.size());
@@ -230,7 +258,6 @@ engine_result simulate_cpu(const engine_config& config) {
       const unsigned owner = static_cast<unsigned>(c * exec_threads / nchunks);
       tasks[c].home = mem.home_node(owner);
     }
-    const bool dynamic = prof.engine != sched_kind::static_chunks;
     // All-core compute efficiency degrades linearly from 1 (single thread)
     // to the machine's par_compute_eff (all cores busy). The futures engine
     // additionally loses compute to cross-node scheduling jitter (the HPX
@@ -243,11 +270,12 @@ engine_result simulate_cpu(const engine_config& config) {
     }
     const double compute_rate = m.freq_ghz * 1e9 * compute_eff;
     // tune.efficiency models memory-side management quality only.
-    double phase_s = run_phase_des(m, mem, tier, std::move(tasks), exec_threads,
-                                   dynamic, spread, compute_rate, tune.efficiency);
+    double phase_s =
+        run_phase_des(m, mem, tier, std::move(tasks), exec_threads, dynamic,
+                      spread, compute_rate, tune.efficiency / locality_mult);
     // Scheduling overheads.
     phase_s += prof.fork_s + prof.per_thread_s * threads;
-    phase_s += prof.per_chunk_s * nchunks_d / exec_threads;
+    phase_s += (prof.per_chunk_s + locality_chunk_s) * nchunks_d / exec_threads;
     if (prof.engine == sched_kind::futures) {
       // Central queue: dequeues serialize; the phase cannot beat that floor.
       phase_s = std::max(phase_s, prof.queue_s * nchunks_d) +

@@ -20,6 +20,26 @@
 
 namespace pstlb::sim {
 
+/// Scheduling-locality model for the dynamic engines.
+enum class steal_locality {
+  /// Calibrated reproduction (default): remote-access cost is folded into
+  /// the backend's numa_gamma and stolen chunks are assumed node-local —
+  /// the paper's numbers were fitted against this path, so it must stay
+  /// bit-identical.
+  legacy,
+  /// Explicit model, uniform random victims: a thief is on the victim's
+  /// node with probability 1/nodes, so (1 - 1/nodes) of dynamic chunks
+  /// stream over the interconnect at machine::remote_bw_factor of the
+  /// local rate.
+  uniform,
+  /// Explicit model, locality-first stealing + page-registry seeding:
+  /// chunks start on their home node and only the overflow fraction that
+  /// load balancing moves at the end of a phase crosses nodes. Pays a
+  /// small per-chunk decision cost (the Task Bench point: locality-aware
+  /// scheduling is not free).
+  locality_first,
+};
+
 struct engine_config {
   const machine* mach = nullptr;
   const backend_profile* prof = nullptr;
@@ -28,6 +48,7 @@ struct engine_config {
   numa::placement alloc = numa::placement::parallel_touch;
   /// scatter = the paper's unpinned runs; compact = OMP_PROC_BIND=close.
   thread_placement placement = thread_placement::scatter;
+  steal_locality locality = steal_locality::legacy;
 };
 
 /// Per-phase breakdown of a simulated call (for explain-style tooling and

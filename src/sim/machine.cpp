@@ -15,6 +15,7 @@ const machine& mach_a() {
       .l2_core_bytes = 1.0 * 1024 * 1024,          // Skylake-SP: 1 MiB L2
       .llc_total_bytes = 2 * 22.0 * 1024 * 1024,   // 22 MiB LLC per socket
       .numa_scale = 0.5,        // 2 nodes over UPI: mild decay
+      .remote_bw_factor = 0.65,  // UPI: remote stream ~2/3 of local
       .par_compute_eff = 1.0,   // Table 5: k=1000 speedup 32.5 on 32 cores
   };
   return m;
@@ -33,6 +34,7 @@ const machine& mach_b() {
       .l2_core_bytes = 512.0 * 1024,
       .llc_total_bytes = 2 * 64.0 * 1024 * 1024,   // 8 MiB per CCX, 64 MiB/socket
       .numa_scale = 1.4,        // Zen 1 fabric: severe unpinned decay
+      .remote_bw_factor = 0.45,  // first-gen Infinity Fabric: remote < half
       .par_compute_eff = 0.86,  // Table 5: k=1000 speedup 54.9 on 64 cores
   };
   return m;
@@ -51,6 +53,7 @@ const machine& mach_c() {
       .l2_core_bytes = 512.0 * 1024,
       .llc_total_bytes = 2 * 256.0 * 1024 * 1024,  // 32 MiB per CCX, 256 MiB/socket
       .numa_scale = 1.4,        // Zen 3 fabric: moderate decay
+      .remote_bw_factor = 0.55,  // IF gen 3: remote stream ~55% of local
       .par_compute_eff = 0.82,  // Table 5: k=1000 speedup ~104 on 128 cores
   };
   return m;
@@ -69,6 +72,7 @@ const machine& mach_f() {
       .l2_core_bytes = 1.0 * 1024 * 1024,
       .llc_total_bytes = 32.0 * 1024 * 1024,  // 32 MiB SLC
       .numa_scale = 0.0,        // single node
+      .remote_bw_factor = 1.0,  // no remote tier
       .par_compute_eff = 0.90,
   };
   return m;

@@ -31,6 +31,11 @@ struct machine {
   /// backend's numa_gamma): Zen 1's fabric degrades far more than
   /// Skylake's UPI under unpinned multi-node traffic.
   double numa_scale = 1.0;
+  /// Remote-to-local DRAM bandwidth ratio of one stream crossing the
+  /// socket/node interconnect (UPI / Infinity Fabric). Used by the explicit
+  /// steal-locality model (sim::steal_locality); the legacy calibrated path
+  /// folds the same physics into numa_gamma and ignores this.
+  double remote_bw_factor = 0.6;
   /// Aggregate parallel compute efficiency at full core count (frequency
   /// drop under all-core load, SMT arbitration): Table 5's k_it = 1000
   /// column tops out at ~0.8-0.86 of ideal on the big machines.

@@ -11,6 +11,16 @@ engine_result run(const machine& m, const backend_profile& prof, kernel_params p
   return simulate_cpu(config);
 }
 
+engine_result run_with_locality(const machine& m, const backend_profile& prof,
+                                kernel_params params, unsigned threads,
+                                steal_locality locality, numa::placement alloc,
+                                thread_placement placement) {
+  engine_config config{.mach = &m, .prof = &prof, .params = params,
+                       .threads = threads, .alloc = alloc,
+                       .placement = placement, .locality = locality};
+  return simulate_cpu(config);
+}
+
 double gcc_seq_seconds(const machine& m, kernel_params params) {
   return run(m, profiles::gcc_seq(), params, 1).seconds;
 }

@@ -16,6 +16,15 @@ engine_result run(const machine& m, const backend_profile& prof, kernel_params p
                   numa::placement alloc = numa::placement::parallel_touch,
                   thread_placement placement = thread_placement::scatter);
 
+/// Like run(), with the explicit steal-locality model selected (the default
+/// run() keeps steal_locality::legacy — the calibrated reproduction path).
+/// Used by the abl_numa_gamma locality ablation and the locality model tests.
+engine_result run_with_locality(const machine& m, const backend_profile& prof,
+                                kernel_params params, unsigned threads,
+                                steal_locality locality,
+                                numa::placement alloc = numa::placement::parallel_touch,
+                                thread_placement placement = thread_placement::scatter);
+
 /// GCC's sequential implementation — the baseline of Tables 5/6.
 double gcc_seq_seconds(const machine& m, kernel_params params);
 

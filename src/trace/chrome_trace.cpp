@@ -34,11 +34,15 @@ void write_event(std::ostream& os, const event& e, std::uint32_t tid) {
     os << ",\"ph\":\"i\",\"s\":\"t\"";
   }
   os << ",\"args\":{\"";
+  if (e.kind == event_kind::steal_ok || e.kind == event_kind::steal_fail) {
+    // Victim tid plus the locality tag packed into steal_remote_bit.
+    os << "victim\":" << (e.arg & 0xFFFFFFFFull) << ",\"remote\":"
+       << (((e.arg & steal_remote_bit) != 0) ? "true" : "false") << "}}";
+    return;
+  }
   switch (e.kind) {
     case event_kind::chunk: os << "elems"; break;
     case event_kind::phase: os << "phase"; break;
-    case event_kind::steal_ok:
-    case event_kind::steal_fail: os << "victim"; break;
     default: os << "arg"; break;
   }
   os << "\":" << e.arg << "}}";

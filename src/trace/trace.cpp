@@ -221,9 +221,16 @@ void record_instant_slow(pool_id p, event_kind k, std::uint64_t arg) noexcept {
   switch (k) {
     case event_kind::steal_ok:
       ring.counters.steals_ok.fetch_add(1, std::memory_order_relaxed);
+      if ((arg & steal_remote_bit) != 0) {
+        ring.counters.steals_remote_ok.fetch_add(1, std::memory_order_relaxed);
+      }
       break;
     case event_kind::steal_fail:
       ring.counters.steals_failed.fetch_add(1, std::memory_order_relaxed);
+      if ((arg & steal_remote_bit) != 0) {
+        ring.counters.steals_remote_failed.fetch_add(1,
+                                                     std::memory_order_relaxed);
+      }
       break;
     case event_kind::spawn:
       ring.counters.tasks_spawned.fetch_add(1, std::memory_order_relaxed);

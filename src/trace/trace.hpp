@@ -89,6 +89,8 @@ inline constexpr std::size_t hist_buckets = 48;
 struct alignas(cache_line_size) ring_counters {
   std::atomic<std::uint64_t> steals_ok{0};
   std::atomic<std::uint64_t> steals_failed{0};
+  std::atomic<std::uint64_t> steals_remote_ok{0};      // subset of steals_ok
+  std::atomic<std::uint64_t> steals_remote_failed{0};  // subset of steals_failed
   std::atomic<std::uint64_t> tasks_spawned{0};
   std::atomic<std::uint64_t> range_splits{0};
   std::atomic<std::uint64_t> chunks{0};
@@ -206,10 +208,16 @@ inline void record_span(pool_id p, event_kind k, std::uint64_t begin_ns,
   detail::record_span_slow(p, k, begin_ns, now_ns(), arg);
 }
 
-inline void count_steal(pool_id p, bool ok, unsigned victim) noexcept {
+/// Steal-event arg layout: low 32 bits hold the victim tid; bit 32 marks a
+/// cross-NUMA-node (remote) attempt under the active locality plan.
+inline constexpr std::uint64_t steal_remote_bit = std::uint64_t{1} << 32;
+
+inline void count_steal(pool_id p, bool ok, unsigned victim,
+                        bool local = true) noexcept {
   if (!enabled()) { return; }
   detail::record_instant_slow(p, ok ? event_kind::steal_ok : event_kind::steal_fail,
-                              victim);
+                              static_cast<std::uint64_t>(victim) |
+                                  (local ? 0 : steal_remote_bit));
 }
 
 inline void count_spawn(pool_id p) noexcept {

@@ -240,6 +240,72 @@ TEST(Samplesort, BucketCountBounds) {
   EXPECT_GE(samplesort_buckets(1 << 20, 16, 1 << 15), 16 * 4);
 }
 
+TEST(Samplesort, NodeAffineScatterMatchesStdSort) {
+  // Synthetic 2-node topology activates the node-affine scatter path (bucket
+  // homes from the page registry, leaf sorts seeded onto the owning node's
+  // workers). The result must be identical to std::sort, and identical to the
+  // same pipeline with the placement protocol disabled.
+  EnvVar topo("PSTLB_TOPOLOGY", "2x1x2");
+  EnvVar locality("PSTLB_STEAL_LOCALITY", "1");
+  auto base = zipf_input(1 << 17, 61);
+  auto expected = base;
+  std::sort(expected.begin(), expected.end());
+
+  auto pol = sample_policy<pstlb::exec::steal_policy>();
+  {
+    EnvVar scatter("PSTLB_NUMA_SCATTER", "1");
+    auto v = base;
+    pstlb::sort(pol, v.begin(), v.end());
+    EXPECT_EQ(v, expected);
+    EXPECT_STREQ(pstlb::detail::last_sort_traffic().algorithm, "sample");
+  }
+  {
+    EnvVar scatter("PSTLB_NUMA_SCATTER", "0");
+    auto v = base;
+    pstlb::sort(pol, v.begin(), v.end());
+    EXPECT_EQ(v, expected);
+  }
+}
+
+TEST(Samplesort, NodeAffineScatterStableSortKeepsOrder) {
+  struct kv {
+    int key = 0;
+    int seq = 0;
+  };
+  EnvVar topo("PSTLB_TOPOLOGY", "2x2x2");
+  auto pol = sample_policy<pstlb::exec::steal_policy>();
+  std::mt19937_64 rng(67);
+  std::vector<kv> v(1 << 16);
+  for (int i = 0; i < static_cast<int>(v.size()); ++i) {
+    v[static_cast<std::size_t>(i)] = {static_cast<int>(rng() % 29), i};
+  }
+  auto by_key = [](const kv& a, const kv& b) { return a.key < b.key; };
+  pstlb::stable_sort(pol, v.begin(), v.end(), by_key);
+  ASSERT_TRUE(std::is_sorted(v.begin(), v.end(), by_key));
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i - 1].key == v[i].key) { ASSERT_LT(v[i - 1].seq, v[i].seq); }
+  }
+}
+
+TEST(Samplesort, NodeAffineFaultStillSingleException) {
+  EnvVar topo("PSTLB_TOPOLOGY", "2x1x2");
+  auto pol = sample_policy<pstlb::exec::steal_policy>();
+  std::vector<double> v(1 << 16);
+  std::mt19937_64 rng(71);
+  for (auto& x : v) { x = static_cast<double>(rng()); }
+  pstlb::fault::set("throw:1");
+  int caught = 0;
+  try {
+    pstlb::sort(pol, v.begin(), v.end());
+  } catch (const pstlb::fault::injected_fault&) {
+    ++caught;
+  }
+  pstlb::fault::set(pstlb::fault::spec{});
+  EXPECT_EQ(caught, 1);
+  pstlb::sort(pol, v.begin(), v.end());
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
 TYPED_TEST(SamplesortPolicies, InjectedFaultPropagatesExactlyOneException) {
   // throw:1 fires in the first classification chunk on every worker; the
   // pool's cancellation protocol must surface exactly one injected_fault and
