@@ -367,9 +367,13 @@ void samplesort_segment(const B& be, SrcIt src, TmpIt tmp, index_t n,
   }
   {
     sort_phase_span span(3);
-    sched::scoped_chunk_home home_guard(
-        affine ? &samplesort_bucket_homes::home : nullptr,
-        affine ? static_cast<const void*>(&homes) : nullptr);
+    // Disengaged unless affine: installing a nullptr home would clobber any
+    // enclosing chunk-home map instead of leaving it in effect.
+    std::optional<sched::scoped_chunk_home> home_guard;
+    if (affine) {
+      home_guard.emplace(&samplesort_bucket_homes::home,
+                         static_cast<const void*>(&homes));
+    }
     backends::parallel_for(be, bucket_count, index_t{1},
                            [&](index_t bb, index_t be_, unsigned) {
       for (index_t bk = bb; bk < be_; ++bk) {

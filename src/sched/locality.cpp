@@ -116,9 +116,20 @@ unsigned home_node_of(const numa::allocation_info& info, std::size_t offset,
   const std::size_t page_idx = std::min(offset / page, pages - 1);
   // parallel_first_touch hands contiguous page slices to touch_threads
   // workers; slice w covers pages [w * pages / T, (w+1) * pages / T).
-  const unsigned toucher = static_cast<unsigned>(
-      (static_cast<unsigned long long>(page_idx) * info.touch_threads) / pages);
-  return plan.node_of[toucher % plan.node_of.size()];
+  const unsigned toucher = std::min(
+      static_cast<unsigned>((static_cast<unsigned long long>(page_idx) *
+                             info.touch_threads) /
+                            pages),
+      info.touch_threads - 1);
+  // The touch-time thread count can differ from this plan's participant
+  // count; both layouts spread evenly over the same cpus, so map the slice
+  // proportionally (not modulo, which wraps remote slices onto node 0).
+  const unsigned worker = std::min(
+      static_cast<unsigned>((static_cast<unsigned long long>(toucher) *
+                             plan.participants) /
+                            info.touch_threads),
+      plan.participants - 1);
+  return plan.node_of[worker];
 }
 
 namespace {

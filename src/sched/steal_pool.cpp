@@ -24,9 +24,10 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 }
 
 std::uint64_t steal_seed_base() {
-  static const std::uint64_t base =
-      env::unsigned_or("PSTLB_FAULT_SEED", 0x9E3779B9u);
-  return base;
+  // Re-read per call (once per worker per run) so harnesses that flip the
+  // seed mid-process see the new value, matching PSTLB_STEAL_LOCALITY and
+  // PSTLB_TOPOLOGY semantics.
+  return env::unsigned_or("PSTLB_FAULT_SEED", 0x9E3779B9u);
 }
 
 }  // namespace
@@ -75,8 +76,11 @@ void steal_pool::run(unsigned participants, const loop_context& ctx) {
     return;
   }
 
-  // Placement planning reads the calling thread's TLS hints, so it must
-  // happen before the lock hand-off to worker threads.
+  // The lock must be held before plan_for touches the plans_ cache —
+  // concurrent submitters would otherwise race on the map. Placement
+  // planning still runs here on the calling thread (not handed off to
+  // workers), so the TLS data/chunk-home hints it reads stay visible.
+  std::lock_guard guard(run_mutex_);
   const locality_plan* plan = plan_for(participants);
   std::vector<chunk_seed> seeds;
   if (plan != nullptr) {
@@ -85,7 +89,6 @@ void steal_pool::run(unsigned participants, const loop_context& ctx) {
     seeds.push_back(chunk_seed{0, 0, static_cast<std::uint32_t>(chunks)});
   }
 
-  std::lock_guard guard(run_mutex_);
   watchdog::scope monitor(*run_ctx.errors, "steal");
   // Everything that can throw (deque growth, worker spawn, closure
   // allocation) happens before the ranges are seeded — and a failed push

@@ -57,7 +57,8 @@ class steal_pool {
   // run_mutex_ before workers start, cleared after they join.
   const locality_plan* active_plan_ = nullptr;
   // Plans are pure functions of (topology, participants); cached per pair
-  // since the tree reference is stable per PSTLB_TOPOLOGY spec.
+  // since the tree reference is stable per PSTLB_TOPOLOGY spec. Guarded by
+  // run_mutex_: plan_for must only be called with the lock held.
   std::map<std::pair<const numa::topology_tree*, unsigned>, locality_plan>
       plans_;
 };
