@@ -1,0 +1,74 @@
+// Scalability advisor validation: measured (simulated DES) vs predicted
+// (closed-form work-span model) speedup for the Tab. 3/4 kernels on Mach C,
+// at 8 / 32 / 128 threads, all five parallel backends — plus each
+// configuration's advisor verdict naming the binding resource.
+//
+// The two columns must agree within the acceptance tolerance (15 %); the
+// agreement test (tests/trace/advisor_test.cpp) enforces the same bound in
+// CI, this binary shows the numbers.
+#include "common.hpp"
+#include "trace/analysis/advisor.hpp"
+
+namespace pstlb::bench {
+namespace {
+
+constexpr unsigned kThreadPoints[] = {8, 32, 128};
+
+sim::kernel_params params(sim::kernel k) {
+  sim::kernel_params p;
+  p.kind = k;
+  p.n = kN30;
+  return p;
+}
+
+void register_benchmarks() {
+  const sim::machine& m = sim::machines::mach_c();
+  for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+    register_sim_benchmark("advisor/for_each/" + prof->name, m, *prof,
+                           params(sim::kernel::for_each), m.cores);
+  }
+}
+
+std::string meas_vs_pred(const sim::machine& m, const sim::backend_profile& prof,
+                         const sim::kernel_params& p, unsigned threads) {
+  const auto alloc = sim::paper_alloc_for(prof);
+  const double measured = sim::speedup_vs_gcc_seq(m, prof, p, threads, alloc);
+  const double pred_s = trace::analysis::predict_seconds(
+      m, prof, p, threads, alloc, sim::thread_placement::scatter);
+  if (measured <= 0 || pred_s <= 0) { return "N/A"; }
+  const double predicted = sim::gcc_seq_seconds(m, p) / pred_s;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%6.1f |%6.1f", measured, predicted);
+  return buf;
+}
+
+void report(std::ostream& os) {
+  const sim::machine& m = sim::machines::mach_c();
+  for (const sim::kernel k : {sim::kernel::for_each, sim::kernel::reduce}) {
+    const sim::kernel_params p = params(k);
+    table t("Scalability advisor: measured (sim) | predicted (work-span model) "
+            "speedup vs GCC-SEQ — Mach C, X::" +
+            std::string(sim::kernel_name(k)) + ", 2^30 elements");
+    t.set_header({"backend", "8t meas|pred", "32t meas|pred", "128t meas|pred",
+                  "advisor verdict"});
+    for (const sim::backend_profile* prof : sim::profiles::parallel()) {
+      const auto v = trace::analysis::advise_model(
+          m, *prof, p, m.cores, sim::paper_alloc_for(*prof));
+      std::vector<std::string> row{prof->name};
+      for (const unsigned threads : kThreadPoints) {
+        row.push_back(meas_vs_pred(m, *prof, p, threads));
+      }
+      row.push_back(v.summary());
+      t.add_row(row);
+    }
+    t.print(os);
+  }
+  os << "Columns agree within the 15% acceptance tolerance "
+        "(tests/trace/advisor_test.cpp enforces it).\n";
+}
+
+}  // namespace
+}  // namespace pstlb::bench
+
+using namespace pstlb::bench;
+PSTLB_BENCH_MAIN(report)

@@ -36,6 +36,9 @@
 #include "pstlb/fault.hpp"
 #include "pstlb/pstlb.hpp"
 #include "sim/run.hpp"
+#include "trace/analysis/advisor.hpp"
+#include "trace/analysis/span_graph.hpp"
+#include "trace/analysis/trace_reader.hpp"
 
 namespace pstlb::cli {
 namespace {
@@ -59,6 +62,9 @@ struct options {
   unsigned timeout_ms = 60000;
   int retries = 1;
   std::string fault;  // PSTLB_FAULT value injected into the children
+  // --mode=analyze: offline trace analysis.
+  std::string trace_path;  // --trace=PATH or positional
+  bool json = false;       // JSON verdict instead of annotated text
 };
 
 double parse_size(const std::string& text) {
@@ -117,8 +123,15 @@ bool parse_args(int argc, char** argv, options& opt) {
       opt.retries = std::atoi(retries_v);
     } else if (const char* fault_v = value_of("--fault")) {
       opt.fault = fault_v;
+    } else if (const char* trace_v = value_of("--trace")) {
+      opt.trace_path = trace_v;
+    } else if (arg == "--json") {
+      opt.json = true;
     } else if (arg == "--help" || arg == "-h") {
       opt.mode = "help";
+    } else if (!arg.empty() && arg[0] != '-') {
+      // Positional operand: the trace file for --mode=analyze.
+      opt.trace_path = arg;
     } else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg.c_str());
       return false;
@@ -151,7 +164,11 @@ void print_usage() {
       "  --journal=PATH         JSONL results journal; reruns resume from it\n"
       "  --timeout-ms=N         per-run wall-clock budget (default 60000)\n"
       "  --retries=N            extra attempts for failed runs (default 1)\n"
-      "  --fault=SPEC           PSTLB_FAULT value injected into the children");
+      "  --fault=SPEC           PSTLB_FAULT value injected into the children\n"
+      "analyze mode (--mode=analyze): offline work-span / advisor analysis\n"
+      "  pstlb_cli --mode=analyze trace.json   (or --trace=PATH)\n"
+      "  --json                 machine-readable verdict (advisor schema)\n"
+      "  exit 1 when the trace contains events the analyzer cannot parse");
 }
 
 void print_list() {
@@ -521,6 +538,68 @@ int run_suite(const options& opt) {
   return failures == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Offline analysis (--mode=analyze): trace.json -> span graph -> verdict.
+// ---------------------------------------------------------------------------
+
+int run_analyze(const options& opt) {
+  if (opt.trace_path.empty()) {
+    std::fprintf(stderr,
+                 "pstlb_cli: --mode=analyze needs a trace file "
+                 "(positional or --trace=PATH)\n");
+    return 2;
+  }
+  trace::analysis::parsed_trace parsed;
+  try {
+    parsed = trace::analysis::parse_chrome_trace_file(opt.trace_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pstlb_cli: %s\n", e.what());
+    return 2;
+  }
+  const auto g = trace::analysis::build_span_graph(parsed.events, parsed.tids);
+
+  // Fuse counter tracks when the trace carries them: achieved bandwidth
+  // needs bytes + wall time, which the offline reader cannot see, but a
+  // perf IPC track rides along as a hint.
+  trace::analysis::advice_hints hints;
+  auto ipc = parsed.counters.find("perf/ipc");
+  if (ipc != parsed.counters.end() && !ipc->second.empty()) {
+    hints.ipc = ipc->second.back().value;
+  }
+  const auto v = trace::analysis::advise(g, hints);
+
+  if (opt.json) {
+    trace::analysis::write_json(v, std::cout);
+  } else {
+    std::printf("trace    : %s\n", opt.trace_path.c_str());
+    std::printf("events   : %zu parsed (%zu objects, %zu unparsed), "
+                "%zu thread labels, %zu counter tracks\n",
+                parsed.events.size(), parsed.total_objects, parsed.unparsed,
+                parsed.thread_names.size(), parsed.counters.size());
+    std::printf("graph    : %zu nodes, %zu edges; %llu steals "
+                "(%llu remote), %llu spawns, %llu splits\n",
+                g.nodes.size(), g.edges.size(),
+                static_cast<unsigned long long>(g.steals),
+                static_cast<unsigned long long>(g.remote_steals),
+                static_cast<unsigned long long>(g.spawns),
+                static_cast<unsigned long long>(g.splits));
+    trace::analysis::write_text(v, std::cout);
+    if (!g.phases.empty()) {
+      std::puts("phases (critical-path share first):");
+      for (const auto& ph : g.phases) {
+        std::printf("  %-12s work %10.3f ms   on critical path %10.3f ms\n",
+                    ph.label.c_str(), ph.work_ns * 1e-6, ph.critical_ns * 1e-6);
+      }
+    }
+  }
+  if (parsed.unparsed > 0) {
+    std::fprintf(stderr, "pstlb_cli: %zu trace objects could not be parsed\n",
+                 parsed.unparsed);
+    return 1;
+  }
+  return 0;
+}
+
 int run_demo() {
   print_usage();
   std::puts("\ndemo: native reduce, 2^18 doubles, all backends:");
@@ -549,5 +628,6 @@ int main(int argc, char** argv) {
   if (opt.mode == "sim") { return pstlb::cli::run_sim(opt); }
   if (opt.mode == "native") { return pstlb::cli::run_native(opt); }
   if (opt.mode == "suite") { return pstlb::cli::run_suite(opt); }
+  if (opt.mode == "analyze") { return pstlb::cli::run_analyze(opt); }
   return pstlb::cli::run_demo();
 }

@@ -70,7 +70,9 @@ class fork_join_backend {
             errors.beat();
             trace::record_span(trace::pool_id::fork_join,
                                trace::event_kind::chunk, t0,
-                               static_cast<std::uint64_t>(be - b));
+                               static_cast<std::uint64_t>(be - b),
+                               trace::link_task(static_cast<std::uint64_t>(
+                                   b / step)));
           }
         },
         &errors);

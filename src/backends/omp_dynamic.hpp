@@ -70,7 +70,8 @@ class omp_dynamic_backend {
             errors.beat();
             trace::record_span(trace::pool_id::fork_join,
                                trace::event_kind::chunk, t0,
-                               static_cast<std::uint64_t>(end - begin));
+                               static_cast<std::uint64_t>(end - begin),
+                               trace::link_task(static_cast<std::uint64_t>(c)));
           }
         },
         &errors);

@@ -200,12 +200,14 @@ void parallel_scan_1p(const B& be, index_t n, Combine&& combine,
           desc.flag.store(detail::chunk_poisoned, std::memory_order_release);
           continue;
         }
+        const std::uint64_t link =
+            trace::link_task(static_cast<std::uint64_t>(c));
         if (c == 0) {
           const std::uint64_t t0 = trace::span_begin();
           desc.prefix = fused_block(b, e, T{}, false);
           desc.flag.store(detail::chunk_prefix, std::memory_order_release);
           trace::record_span(trace::pool_id::scan, trace::event_kind::chunk,
-                             t0, elems);
+                             t0, elems, link);
           src.beat();
           continue;
         }
@@ -218,7 +220,7 @@ void parallel_scan_1p(const B& be, index_t n, Combine&& combine,
           desc.prefix = fused_block(b, e, T{pred.prefix}, true);
           desc.flag.store(detail::chunk_prefix, std::memory_order_release);
           trace::record_span(trace::pool_id::scan, trace::event_kind::chunk,
-                             t0, elems);
+                             t0, elems, link);
           src.beat();
           continue;
         }
@@ -232,7 +234,7 @@ void parallel_scan_1p(const B& be, index_t n, Combine&& combine,
         const std::uint64_t lb0 = trace::span_begin();
         std::optional<T> carry = detail::lookback_carry(chunks, c, combine, src);
         trace::record_span(trace::pool_id::scan, trace::event_kind::lookback,
-                           lb0, static_cast<std::uint64_t>(c));
+                           lb0, static_cast<std::uint64_t>(c), link);
         if (!carry.has_value()) {
           // Broken chain (poisoned predecessor or cancellation): our own
           // prefix is unknowable. Overwriting AGGREGATE with POISONED is
@@ -246,7 +248,7 @@ void parallel_scan_1p(const B& be, index_t n, Combine&& combine,
         desc.flag.store(detail::chunk_prefix, std::memory_order_release);
         scan_block(b, e, std::move(*carry), true);
         trace::record_span(trace::pool_id::scan, trace::event_kind::chunk, t0,
-                           elems);
+                           elems, link);
         src.beat();
       } catch (...) {
         src.capture_current();

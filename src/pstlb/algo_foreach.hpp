@@ -15,11 +15,13 @@
 
 #include "backends/skeletons.hpp"
 #include "pstlb/exec.hpp"
+#include "trace/stats_registry.hpp"
 
 namespace pstlb {
 
 template <exec::ExecutionPolicy P, class It, class F>
 void for_each(P&& policy, It first, It last, F f) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::for_each);
   const index_t n = std::distance(first, last);
   // NUMA placement hint for the steal scheduler: the loop at index i touches
   // first[i]; chunks seed onto the node whose pages they read (see
@@ -37,6 +39,7 @@ void for_each(P&& policy, It first, It last, F f) {
 
 template <exec::ExecutionPolicy P, class It, class Size, class F>
 It for_each_n(P&& policy, It first, Size count, F f) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::for_each_n);
   if (count <= Size{0}) { return first; }
   const index_t n = static_cast<index_t>(count);
   const auto hint = exec::data_hint(first);
@@ -52,6 +55,7 @@ It for_each_n(P&& policy, It first, Size count, F f) {
 
 template <exec::ExecutionPolicy P, class It, class Out, class F>
 Out transform(P&& policy, It first, It last, Out out, F f) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::transform);
   const index_t n = std::distance(first, last);
   const auto hint = exec::data_hint(first);
   return exec::dispatch<It, Out>(
@@ -66,6 +70,7 @@ Out transform(P&& policy, It first, It last, Out out, F f) {
 
 template <exec::ExecutionPolicy P, class It1, class It2, class Out, class F>
 Out transform(P&& policy, It1 first1, It1 last1, It2 first2, Out out, F f) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::transform);
   const index_t n = std::distance(first1, last1);
   return exec::dispatch<It1, It2, Out>(
       policy, n, [&] { return std::transform(first1, last1, first2, out, f); },
@@ -79,6 +84,7 @@ Out transform(P&& policy, It1 first1, It1 last1, It2 first2, Out out, F f) {
 
 template <exec::ExecutionPolicy P, class It, class T>
 void fill(P&& policy, It first, It last, const T& value) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::fill);
   const index_t n = std::distance(first, last);
   exec::dispatch<It>(
       policy, n, [&] { std::fill(first, last, value); },
@@ -91,6 +97,7 @@ void fill(P&& policy, It first, It last, const T& value) {
 
 template <exec::ExecutionPolicy P, class It, class Size, class T>
 It fill_n(P&& policy, It first, Size count, const T& value) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::fill_n);
   if (count <= Size{0}) { return first; }
   fill(policy, first, first + static_cast<index_t>(count), value);
   return first + static_cast<index_t>(count);
@@ -101,6 +108,7 @@ It fill_n(P&& policy, It first, Size count, const T& value) {
 /// for stateless generators, matching std::generate(par, ...) requirements.
 template <exec::ExecutionPolicy P, class It, class Gen>
 void generate(P&& policy, It first, It last, Gen gen) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::generate);
   const index_t n = std::distance(first, last);
   exec::dispatch<It>(
       policy, n, [&] { std::generate(first, last, gen); },
@@ -114,6 +122,7 @@ void generate(P&& policy, It first, It last, Gen gen) {
 
 template <exec::ExecutionPolicy P, class It, class Size, class Gen>
 It generate_n(P&& policy, It first, Size count, Gen gen) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::generate_n);
   if (count <= Size{0}) { return first; }
   generate(policy, first, first + static_cast<index_t>(count), std::move(gen));
   return first + static_cast<index_t>(count);
@@ -121,6 +130,7 @@ It generate_n(P&& policy, It first, Size count, Gen gen) {
 
 template <exec::ExecutionPolicy P, class It, class Out>
 Out copy(P&& policy, It first, It last, Out out) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::copy);
   const index_t n = std::distance(first, last);
   return exec::dispatch<It, Out>(
       policy, n, [&] { return std::copy(first, last, out); },
@@ -134,12 +144,14 @@ Out copy(P&& policy, It first, It last, Out out) {
 
 template <exec::ExecutionPolicy P, class It, class Size, class Out>
 Out copy_n(P&& policy, It first, Size count, Out out) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::copy_n);
   if (count <= Size{0}) { return out; }
   return copy(policy, first, first + static_cast<index_t>(count), out);
 }
 
 template <exec::ExecutionPolicy P, class It, class Out>
 Out move(P&& policy, It first, It last, Out out) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::move);
   const index_t n = std::distance(first, last);
   return exec::dispatch<It, Out>(
       policy, n, [&] { return std::move(first, last, out); },
@@ -153,6 +165,7 @@ Out move(P&& policy, It first, It last, Out out) {
 
 template <exec::ExecutionPolicy P, class It1, class It2>
 It2 swap_ranges(P&& policy, It1 first1, It1 last1, It2 first2) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::swap_ranges);
   const index_t n = std::distance(first1, last1);
   return exec::dispatch<It1, It2>(
       policy, n, [&] { return std::swap_ranges(first1, last1, first2); },
@@ -166,6 +179,7 @@ It2 swap_ranges(P&& policy, It1 first1, It1 last1, It2 first2) {
 
 template <exec::ExecutionPolicy P, class It, class T>
 void replace(P&& policy, It first, It last, const T& old_value, const T& new_value) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::replace);
   const index_t n = std::distance(first, last);
   exec::dispatch<It>(
       policy, n, [&] { std::replace(first, last, old_value, new_value); },
@@ -178,6 +192,7 @@ void replace(P&& policy, It first, It last, const T& old_value, const T& new_val
 
 template <exec::ExecutionPolicy P, class It, class Pred, class T>
 void replace_if(P&& policy, It first, It last, Pred pred, const T& new_value) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::replace_if);
   const index_t n = std::distance(first, last);
   exec::dispatch<It>(
       policy, n, [&] { std::replace_if(first, last, pred, new_value); },
@@ -191,6 +206,7 @@ void replace_if(P&& policy, It first, It last, Pred pred, const T& new_value) {
 template <exec::ExecutionPolicy P, class It, class Out, class T>
 Out replace_copy(P&& policy, It first, It last, Out out, const T& old_value,
                  const T& new_value) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::replace_copy);
   const index_t n = std::distance(first, last);
   return exec::dispatch<It, Out>(
       policy, n, [&] { return std::replace_copy(first, last, out, old_value, new_value); },
@@ -204,6 +220,7 @@ Out replace_copy(P&& policy, It first, It last, Out out, const T& old_value,
 
 template <exec::ExecutionPolicy P, class It>
 void reverse(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::reverse);
   const index_t n = std::distance(first, last);
   exec::dispatch<It>(
       policy, n, [&] { std::reverse(first, last); },
@@ -219,6 +236,7 @@ void reverse(P&& policy, It first, It last) {
 
 template <exec::ExecutionPolicy P, class It, class Out>
 Out reverse_copy(P&& policy, It first, It last, Out out) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::reverse_copy);
   const index_t n = std::distance(first, last);
   return exec::dispatch<It, Out>(
       policy, n, [&] { return std::reverse_copy(first, last, out); },
@@ -232,6 +250,7 @@ Out reverse_copy(P&& policy, It first, It last, Out out) {
 
 template <exec::ExecutionPolicy P, class It, class Out>
 Out rotate_copy(P&& policy, It first, It middle, It last, Out out) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::rotate_copy);
   const index_t lead = std::distance(middle, last);
   Out tail = copy(policy, middle, last, out);
   copy(policy, first, middle, tail);
@@ -244,6 +263,7 @@ Out rotate_copy(P&& policy, It first, It middle, It last, Out out) {
 template <exec::ExecutionPolicy P, class It>
 It shift_left(P&& policy, It first, It last,
               typename std::iterator_traits<It>::difference_type shift) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::shift_left);
   using T = typename std::iterator_traits<It>::value_type;
   const index_t n = std::distance(first, last);
   if (shift <= 0) { return last; }
@@ -268,6 +288,7 @@ It shift_left(P&& policy, It first, It last,
 template <exec::ExecutionPolicy P, class It>
 It shift_right(P&& policy, It first, It last,
                typename std::iterator_traits<It>::difference_type shift) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::shift_right);
   using T = typename std::iterator_traits<It>::value_type;
   const index_t n = std::distance(first, last);
   if (shift <= 0) { return first; }
@@ -295,6 +316,7 @@ It shift_right(P&& policy, It first, It last,
 /// worth the synchronization.)
 template <exec::ExecutionPolicy P, class It>
 It rotate(P&& policy, It first, It middle, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::rotate);
   using T = typename std::iterator_traits<It>::value_type;
   const index_t n = std::distance(first, last);
   const index_t shift = std::distance(first, middle);
@@ -318,6 +340,7 @@ It rotate(P&& policy, It first, It middle, It last) {
 
 template <exec::ExecutionPolicy P, class It, class Out, class Op>
 Out adjacent_difference(P&& policy, It first, It last, Out out, Op op) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::adjacent_difference);
   const index_t n = std::distance(first, last);
   return exec::dispatch<It, Out>(
       policy, n, [&] { return std::adjacent_difference(first, last, out, op); },
@@ -337,6 +360,7 @@ Out adjacent_difference(P&& policy, It first, It last, Out out, Op op) {
 
 template <exec::ExecutionPolicy P, class It, class Out>
 Out adjacent_difference(P&& policy, It first, It last, Out out) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::adjacent_difference);
   return pstlb::adjacent_difference(std::forward<P>(policy), first, last, out,
                                     std::minus<>{});
 }
@@ -345,6 +369,7 @@ Out adjacent_difference(P&& policy, It first, It last, Out out) {
 
 template <exec::ExecutionPolicy P, class It>
 void destroy(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::destroy);
   const index_t n = std::distance(first, last);
   exec::dispatch<It>(
       policy, n, [&] { std::destroy(first, last); },
@@ -357,6 +382,7 @@ void destroy(P&& policy, It first, It last) {
 
 template <exec::ExecutionPolicy P, class It, class Size>
 It destroy_n(P&& policy, It first, Size count) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::destroy_n);
   if (count <= Size{0}) { return first; }
   destroy(policy, first, first + static_cast<index_t>(count));
   return first + static_cast<index_t>(count);
@@ -364,6 +390,7 @@ It destroy_n(P&& policy, It first, Size count) {
 
 template <exec::ExecutionPolicy P, class It>
 void uninitialized_default_construct(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::uninitialized_default_construct);
   const index_t n = std::distance(first, last);
   exec::dispatch<It>(
       policy, n, [&] { std::uninitialized_default_construct(first, last); },
@@ -376,6 +403,7 @@ void uninitialized_default_construct(P&& policy, It first, It last) {
 
 template <exec::ExecutionPolicy P, class It>
 void uninitialized_value_construct(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::uninitialized_value_construct);
   const index_t n = std::distance(first, last);
   exec::dispatch<It>(
       policy, n, [&] { std::uninitialized_value_construct(first, last); },
@@ -388,6 +416,7 @@ void uninitialized_value_construct(P&& policy, It first, It last) {
 
 template <exec::ExecutionPolicy P, class It, class T>
 void uninitialized_fill(P&& policy, It first, It last, const T& value) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::uninitialized_fill);
   const index_t n = std::distance(first, last);
   exec::dispatch<It>(
       policy, n, [&] { std::uninitialized_fill(first, last, value); },
@@ -400,6 +429,7 @@ void uninitialized_fill(P&& policy, It first, It last, const T& value) {
 
 template <exec::ExecutionPolicy P, class It, class Out>
 Out uninitialized_copy(P&& policy, It first, It last, Out out) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::uninitialized_copy);
   const index_t n = std::distance(first, last);
   return exec::dispatch<It, Out>(
       policy, n, [&] { return std::uninitialized_copy(first, last, out); },
@@ -413,6 +443,7 @@ Out uninitialized_copy(P&& policy, It first, It last, Out out) {
 
 template <exec::ExecutionPolicy P, class It, class Out>
 Out uninitialized_move(P&& policy, It first, It last, Out out) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::uninitialized_move);
   const index_t n = std::distance(first, last);
   return exec::dispatch<It, Out>(
       policy, n, [&] { return std::uninitialized_move(first, last, out); },

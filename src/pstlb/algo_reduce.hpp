@@ -13,6 +13,7 @@
 
 #include "backends/skeletons.hpp"
 #include "pstlb/exec.hpp"
+#include "trace/stats_registry.hpp"
 
 namespace pstlb {
 
@@ -20,6 +21,7 @@ namespace pstlb {
 
 template <exec::ExecutionPolicy P, class It, class T, class Op>
 T reduce(P&& policy, It first, It last, T init, Op op) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::reduce);
   const index_t n = std::distance(first, last);
   // NUMA placement hint: chunks seed onto the node owning first[i]'s pages.
   const auto hint = exec::data_hint(first);
@@ -37,12 +39,14 @@ T reduce(P&& policy, It first, It last, T init, Op op) {
 
 template <exec::ExecutionPolicy P, class It, class T>
 T reduce(P&& policy, It first, It last, T init) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::reduce);
   return pstlb::reduce(std::forward<P>(policy), first, last, std::move(init),
                        std::plus<>{});
 }
 
 template <exec::ExecutionPolicy P, class It>
 typename std::iterator_traits<It>::value_type reduce(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::reduce);
   using T = typename std::iterator_traits<It>::value_type;
   return pstlb::reduce(std::forward<P>(policy), first, last, T{}, std::plus<>{});
 }
@@ -50,6 +54,7 @@ typename std::iterator_traits<It>::value_type reduce(P&& policy, It first, It la
 template <exec::ExecutionPolicy P, class It, class T, class Reduce, class Transform>
 T transform_reduce(P&& policy, It first, It last, T init, Reduce reduce_op,
                    Transform transform_op) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::transform_reduce);
   const index_t n = std::distance(first, last);
   const auto hint = exec::data_hint(first);
   return exec::dispatch<It>(
@@ -76,6 +81,7 @@ template <exec::ExecutionPolicy P, class It1, class It2, class T, class Reduce,
           class Transform>
 T transform_reduce(P&& policy, It1 first1, It1 last1, It2 first2, T init,
                    Reduce reduce_op, Transform transform_op) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::transform_reduce);
   const index_t n = std::distance(first1, last1);
   return exec::dispatch<It1, It2>(
       policy, n,
@@ -99,6 +105,7 @@ T transform_reduce(P&& policy, It1 first1, It1 last1, It2 first2, T init,
 
 template <exec::ExecutionPolicy P, class It1, class It2, class T>
 T transform_reduce(P&& policy, It1 first1, It1 last1, It2 first2, T init) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::transform_reduce);
   return pstlb::transform_reduce(std::forward<P>(policy), first1, last1, first2,
                                  std::move(init), std::plus<>{}, std::multiplies<>{});
 }
@@ -108,6 +115,7 @@ T transform_reduce(P&& policy, It1 first1, It1 last1, It2 first2, T init) {
 template <exec::ExecutionPolicy P, class It, class Pred>
 typename std::iterator_traits<It>::difference_type count_if(P&& policy, It first,
                                                             It last, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::count_if);
   using D = typename std::iterator_traits<It>::difference_type;
   const index_t n = std::distance(first, last);
   return exec::dispatch<It>(
@@ -125,6 +133,7 @@ typename std::iterator_traits<It>::difference_type count_if(P&& policy, It first
 template <exec::ExecutionPolicy P, class It, class T>
 typename std::iterator_traits<It>::difference_type count(P&& policy, It first,
                                                          It last, const T& value) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::count);
   return pstlb::count_if(std::forward<P>(policy), first, last,
                          [&value](const auto& x) { return x == value; });
 }
@@ -151,6 +160,7 @@ index_t better_max(It first, Compare comp, index_t a, index_t b) {
 
 template <exec::ExecutionPolicy P, class It, class Compare>
 It min_element(P&& policy, It first, It last, Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::min_element);
   const index_t n = std::distance(first, last);
   if (n <= 0) { return last; }
   return exec::dispatch<It>(
@@ -169,11 +179,13 @@ It min_element(P&& policy, It first, It last, Compare comp) {
 
 template <exec::ExecutionPolicy P, class It>
 It min_element(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::min_element);
   return pstlb::min_element(std::forward<P>(policy), first, last, std::less<>{});
 }
 
 template <exec::ExecutionPolicy P, class It, class Compare>
 It max_element(P&& policy, It first, It last, Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::max_element);
   const index_t n = std::distance(first, last);
   if (n <= 0) { return last; }
   return exec::dispatch<It>(
@@ -192,11 +204,13 @@ It max_element(P&& policy, It first, It last, Compare comp) {
 
 template <exec::ExecutionPolicy P, class It>
 It max_element(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::max_element);
   return pstlb::max_element(std::forward<P>(policy), first, last, std::less<>{});
 }
 
 template <exec::ExecutionPolicy P, class It, class Compare>
 std::pair<It, It> minmax_element(P&& policy, It first, It last, Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::minmax_element);
   const index_t n = std::distance(first, last);
   if (n <= 0) { return {last, last}; }
   return exec::dispatch<It>(
@@ -224,6 +238,7 @@ std::pair<It, It> minmax_element(P&& policy, It first, It last, Compare comp) {
 
 template <exec::ExecutionPolicy P, class It>
 std::pair<It, It> minmax_element(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::minmax_element);
   return pstlb::minmax_element(std::forward<P>(policy), first, last, std::less<>{});
 }
 
@@ -231,6 +246,7 @@ std::pair<It, It> minmax_element(P&& policy, It first, It last) {
 
 template <exec::ExecutionPolicy P, class It, class Pred>
 It find_if(P&& policy, It first, It last, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::find_if);
   const index_t n = std::distance(first, last);
   return exec::dispatch<It>(
       policy, n, [&] { return std::find_if(first, last, pred); },
@@ -246,33 +262,39 @@ It find_if(P&& policy, It first, It last, Pred pred) {
 
 template <exec::ExecutionPolicy P, class It, class Pred>
 It find_if_not(P&& policy, It first, It last, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::find_if_not);
   return pstlb::find_if(std::forward<P>(policy), first, last,
                         [&pred](const auto& x) { return !pred(x); });
 }
 
 template <exec::ExecutionPolicy P, class It, class T>
 It find(P&& policy, It first, It last, const T& value) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::find);
   return pstlb::find_if(std::forward<P>(policy), first, last,
                         [&value](const auto& x) { return x == value; });
 }
 
 template <exec::ExecutionPolicy P, class It, class Pred>
 bool any_of(P&& policy, It first, It last, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::any_of);
   return pstlb::find_if(std::forward<P>(policy), first, last, pred) != last;
 }
 
 template <exec::ExecutionPolicy P, class It, class Pred>
 bool none_of(P&& policy, It first, It last, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::none_of);
   return !pstlb::any_of(std::forward<P>(policy), first, last, pred);
 }
 
 template <exec::ExecutionPolicy P, class It, class Pred>
 bool all_of(P&& policy, It first, It last, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::all_of);
   return pstlb::find_if_not(std::forward<P>(policy), first, last, pred) == last;
 }
 
 template <exec::ExecutionPolicy P, class It, class Pred>
 It adjacent_find(P&& policy, It first, It last, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::adjacent_find);
   const index_t n = std::distance(first, last);
   if (n < 2) { return last; }
   return exec::dispatch<It>(
@@ -292,6 +314,7 @@ It adjacent_find(P&& policy, It first, It last, Pred pred) {
 
 template <exec::ExecutionPolicy P, class It>
 It adjacent_find(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::adjacent_find);
   return pstlb::adjacent_find(std::forward<P>(policy), first, last, std::equal_to<>{});
 }
 
@@ -299,6 +322,7 @@ It adjacent_find(P&& policy, It first, It last) {
 
 template <exec::ExecutionPolicy P, class It1, class It2, class Pred>
 std::pair<It1, It2> mismatch(P&& policy, It1 first1, It1 last1, It2 first2, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::mismatch);
   const index_t n = std::distance(first1, last1);
   return exec::dispatch<It1, It2>(
       policy, n, [&] { return std::mismatch(first1, last1, first2, pred); },
@@ -316,6 +340,7 @@ std::pair<It1, It2> mismatch(P&& policy, It1 first1, It1 last1, It2 first2, Pred
 
 template <exec::ExecutionPolicy P, class It1, class It2>
 std::pair<It1, It2> mismatch(P&& policy, It1 first1, It1 last1, It2 first2) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::mismatch);
   return pstlb::mismatch(std::forward<P>(policy), first1, last1, first2,
                          std::equal_to<>{});
 }
@@ -323,6 +348,7 @@ std::pair<It1, It2> mismatch(P&& policy, It1 first1, It1 last1, It2 first2) {
 template <exec::ExecutionPolicy P, class It1, class It2, class Pred>
 std::pair<It1, It2> mismatch(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2,
                              Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::mismatch);
   const index_t n =
       std::min<index_t>(std::distance(first1, last1), std::distance(first2, last2));
   auto result = pstlb::mismatch(std::forward<P>(policy), first1, first1 + n, first2, pred);
@@ -331,30 +357,35 @@ std::pair<It1, It2> mismatch(P&& policy, It1 first1, It1 last1, It2 first2, It2 
 
 template <exec::ExecutionPolicy P, class It1, class It2>
 std::pair<It1, It2> mismatch(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::mismatch);
   return pstlb::mismatch(std::forward<P>(policy), first1, last1, first2, last2,
                          std::equal_to<>{});
 }
 
 template <exec::ExecutionPolicy P, class It1, class It2, class Pred>
 bool equal(P&& policy, It1 first1, It1 last1, It2 first2, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::equal);
   return pstlb::mismatch(std::forward<P>(policy), first1, last1, first2, pred).first ==
          last1;
 }
 
 template <exec::ExecutionPolicy P, class It1, class It2>
 bool equal(P&& policy, It1 first1, It1 last1, It2 first2) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::equal);
   return pstlb::equal(std::forward<P>(policy), first1, last1, first2,
                       std::equal_to<>{});
 }
 
 template <exec::ExecutionPolicy P, class It1, class It2, class Pred>
 bool equal(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::equal);
   if (std::distance(first1, last1) != std::distance(first2, last2)) { return false; }
   return pstlb::equal(std::forward<P>(policy), first1, last1, first2, pred);
 }
 
 template <exec::ExecutionPolicy P, class It1, class It2>
 bool equal(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::equal);
   return pstlb::equal(std::forward<P>(policy), first1, last1, first2, last2,
                       std::equal_to<>{});
 }
@@ -363,6 +394,7 @@ bool equal(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2) {
 
 template <exec::ExecutionPolicy P, class It, class Compare>
 It is_sorted_until(P&& policy, It first, It last, Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::is_sorted_until);
   // First position i+1 such that comp(v[i+1], v[i]) — an adjacent_find with
   // the inverted comparison, shifted by one.
   auto hit = pstlb::adjacent_find(
@@ -373,21 +405,25 @@ It is_sorted_until(P&& policy, It first, It last, Compare comp) {
 
 template <exec::ExecutionPolicy P, class It>
 It is_sorted_until(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::is_sorted_until);
   return pstlb::is_sorted_until(std::forward<P>(policy), first, last, std::less<>{});
 }
 
 template <exec::ExecutionPolicy P, class It, class Compare>
 bool is_sorted(P&& policy, It first, It last, Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::is_sorted);
   return pstlb::is_sorted_until(std::forward<P>(policy), first, last, comp) == last;
 }
 
 template <exec::ExecutionPolicy P, class It>
 bool is_sorted(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::is_sorted);
   return pstlb::is_sorted(std::forward<P>(policy), first, last, std::less<>{});
 }
 
 template <exec::ExecutionPolicy P, class It, class Compare>
 It is_heap_until(P&& policy, It first, It last, Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::is_heap_until);
   const index_t n = std::distance(first, last);
   if (n < 2) { return last; }
   return exec::dispatch<It>(
@@ -408,21 +444,25 @@ It is_heap_until(P&& policy, It first, It last, Compare comp) {
 
 template <exec::ExecutionPolicy P, class It>
 It is_heap_until(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::is_heap_until);
   return pstlb::is_heap_until(std::forward<P>(policy), first, last, std::less<>{});
 }
 
 template <exec::ExecutionPolicy P, class It, class Compare>
 bool is_heap(P&& policy, It first, It last, Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::is_heap);
   return pstlb::is_heap_until(std::forward<P>(policy), first, last, comp) == last;
 }
 
 template <exec::ExecutionPolicy P, class It>
 bool is_heap(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::is_heap);
   return pstlb::is_heap(std::forward<P>(policy), first, last, std::less<>{});
 }
 
 template <exec::ExecutionPolicy P, class It, class Pred>
 bool is_partitioned(P&& policy, It first, It last, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::is_partitioned);
   It boundary = pstlb::find_if_not(policy, first, last, pred);
   if (boundary == last) { return true; }
   return pstlb::none_of(std::forward<P>(policy), boundary, last, pred);
@@ -433,6 +473,7 @@ bool is_partitioned(P&& policy, It first, It last, Pred pred) {
 template <exec::ExecutionPolicy P, class It1, class It2, class Compare>
 bool lexicographical_compare(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2,
                              Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::lexicographical_compare);
   const index_t n1 = std::distance(first1, last1);
   const index_t n2 = std::distance(first2, last2);
   const index_t n = std::min(n1, n2);
@@ -449,6 +490,7 @@ bool lexicographical_compare(P&& policy, It1 first1, It1 last1, It2 first2, It2 
 
 template <exec::ExecutionPolicy P, class It1, class It2>
 bool lexicographical_compare(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::lexicographical_compare);
   return pstlb::lexicographical_compare(std::forward<P>(policy), first1, last1, first2,
                                         last2, std::less<>{});
 }
@@ -458,6 +500,7 @@ bool lexicographical_compare(P&& policy, It1 first1, It1 last1, It2 first2, It2 
 template <exec::ExecutionPolicy P, class It1, class It2, class Pred>
 It1 find_first_of(P&& policy, It1 first1, It1 last1, It2 s_first, It2 s_last,
                   Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::find_first_of);
   const index_t n = std::distance(first1, last1);
   return exec::dispatch<It1>(
       policy, n,
@@ -475,12 +518,14 @@ It1 find_first_of(P&& policy, It1 first1, It1 last1, It2 s_first, It2 s_last,
 
 template <exec::ExecutionPolicy P, class It1, class It2>
 It1 find_first_of(P&& policy, It1 first1, It1 last1, It2 s_first, It2 s_last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::find_first_of);
   return pstlb::find_first_of(std::forward<P>(policy), first1, last1, s_first, s_last,
                               std::equal_to<>{});
 }
 
 template <exec::ExecutionPolicy P, class It1, class It2, class Pred>
 It1 search(P&& policy, It1 first1, It1 last1, It2 s_first, It2 s_last, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::search);
   const index_t n = std::distance(first1, last1);
   const index_t m = std::distance(s_first, s_last);
   if (m == 0) { return first1; }
@@ -503,12 +548,14 @@ It1 search(P&& policy, It1 first1, It1 last1, It2 s_first, It2 s_last, Pred pred
 
 template <exec::ExecutionPolicy P, class It1, class It2>
 It1 search(P&& policy, It1 first1, It1 last1, It2 s_first, It2 s_last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::search);
   return pstlb::search(std::forward<P>(policy), first1, last1, s_first, s_last,
                        std::equal_to<>{});
 }
 
 template <exec::ExecutionPolicy P, class It, class Size, class T, class Pred>
 It search_n(P&& policy, It first, It last, Size count, const T& value, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::search_n);
   const index_t n = std::distance(first, last);
   const index_t m = static_cast<index_t>(count);
   if (m <= 0) { return first; }
@@ -538,12 +585,14 @@ It search_n(P&& policy, It first, It last, Size count, const T& value, Pred pred
 
 template <exec::ExecutionPolicy P, class It, class Size, class T>
 It search_n(P&& policy, It first, It last, Size count, const T& value) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::search_n);
   return pstlb::search_n(std::forward<P>(policy), first, last, count, value,
                          std::equal_to<>{});
 }
 
 template <exec::ExecutionPolicy P, class It1, class It2, class Pred>
 It1 find_end(P&& policy, It1 first1, It1 last1, It2 s_first, It2 s_last, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::find_end);
   const index_t n = std::distance(first1, last1);
   const index_t m = std::distance(s_first, s_last);
   if (m == 0 || m > n) { return last1; }
@@ -569,6 +618,7 @@ It1 find_end(P&& policy, It1 first1, It1 last1, It2 s_first, It2 s_last, Pred pr
 
 template <exec::ExecutionPolicy P, class It1, class It2>
 It1 find_end(P&& policy, It1 first1, It1 last1, It2 s_first, It2 s_last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::find_end);
   return pstlb::find_end(std::forward<P>(policy), first1, last1, s_first, s_last,
                          std::equal_to<>{});
 }

@@ -15,6 +15,7 @@
 #include "backends/skeletons.hpp"
 #include "counters/counters.hpp"
 #include "pstlb/exec.hpp"
+#include "trace/stats_registry.hpp"
 
 namespace pstlb {
 
@@ -159,6 +160,7 @@ struct identity_fn {
 
 template <exec::ExecutionPolicy P, class It, class Out, class Op, class T>
 Out inclusive_scan(P&& policy, It first, It last, Out out, Op op, T init) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::inclusive_scan);
   return detail::scan_impl<true>(std::forward<P>(policy), first, last, out,
                                  std::optional<T>{std::move(init)}, op,
                                  detail::identity_fn{});
@@ -166,6 +168,7 @@ Out inclusive_scan(P&& policy, It first, It last, Out out, Op op, T init) {
 
 template <exec::ExecutionPolicy P, class It, class Out, class Op>
 Out inclusive_scan(P&& policy, It first, It last, Out out, Op op) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::inclusive_scan);
   using T = typename std::iterator_traits<It>::value_type;
   return detail::scan_impl<true>(std::forward<P>(policy), first, last, out,
                                  std::optional<T>{}, op, detail::identity_fn{});
@@ -173,6 +176,7 @@ Out inclusive_scan(P&& policy, It first, It last, Out out, Op op) {
 
 template <exec::ExecutionPolicy P, class It, class Out>
 Out inclusive_scan(P&& policy, It first, It last, Out out) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::inclusive_scan);
   return pstlb::inclusive_scan(std::forward<P>(policy), first, last, out,
                                std::plus<>{});
 }
@@ -181,6 +185,7 @@ Out inclusive_scan(P&& policy, It first, It last, Out out) {
 
 template <exec::ExecutionPolicy P, class It, class Out, class T, class Op>
 Out exclusive_scan(P&& policy, It first, It last, Out out, T init, Op op) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::exclusive_scan);
   return detail::scan_impl<false>(std::forward<P>(policy), first, last, out,
                                   std::optional<T>{std::move(init)}, op,
                                   detail::identity_fn{});
@@ -188,6 +193,7 @@ Out exclusive_scan(P&& policy, It first, It last, Out out, T init, Op op) {
 
 template <exec::ExecutionPolicy P, class It, class Out, class T>
 Out exclusive_scan(P&& policy, It first, It last, Out out, T init) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::exclusive_scan);
   return pstlb::exclusive_scan(std::forward<P>(policy), first, last, out,
                                std::move(init), std::plus<>{});
 }
@@ -197,6 +203,7 @@ Out exclusive_scan(P&& policy, It first, It last, Out out, T init) {
 template <exec::ExecutionPolicy P, class It, class Out, class Op, class Unary>
 Out transform_inclusive_scan(P&& policy, It first, It last, Out out, Op op,
                              Unary unary) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::transform_inclusive_scan);
   using T = std::decay_t<decltype(unary(*first))>;
   return detail::scan_impl<true>(std::forward<P>(policy), first, last, out,
                                  std::optional<T>{}, op, unary);
@@ -205,6 +212,7 @@ Out transform_inclusive_scan(P&& policy, It first, It last, Out out, Op op,
 template <exec::ExecutionPolicy P, class It, class Out, class Op, class Unary, class T>
 Out transform_inclusive_scan(P&& policy, It first, It last, Out out, Op op,
                              Unary unary, T init) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::transform_inclusive_scan);
   return detail::scan_impl<true>(std::forward<P>(policy), first, last, out,
                                  std::optional<T>{std::move(init)}, op, unary);
 }
@@ -212,6 +220,7 @@ Out transform_inclusive_scan(P&& policy, It first, It last, Out out, Op op,
 template <exec::ExecutionPolicy P, class It, class Out, class T, class Op, class Unary>
 Out transform_exclusive_scan(P&& policy, It first, It last, Out out, T init, Op op,
                              Unary unary) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::transform_exclusive_scan);
   return detail::scan_impl<false>(std::forward<P>(policy), first, last, out,
                                   std::optional<T>{std::move(init)}, op, unary);
 }
@@ -220,6 +229,7 @@ Out transform_exclusive_scan(P&& policy, It first, It last, Out out, T init, Op 
 
 template <exec::ExecutionPolicy P, class It, class Out, class Pred>
 Out copy_if(P&& policy, It first, It last, Out out, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::copy_if);
   using in_t = typename std::iterator_traits<It>::value_type;
   const index_t n = std::distance(first, last);
   return exec::dispatch<It, Out>(
@@ -251,12 +261,14 @@ Out copy_if(P&& policy, It first, It last, Out out, Pred pred) {
 
 template <exec::ExecutionPolicy P, class It, class Out, class T>
 Out remove_copy(P&& policy, It first, It last, Out out, const T& value) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::remove_copy);
   return pstlb::copy_if(std::forward<P>(policy), first, last, out,
                         [&value](const auto& x) { return !(x == value); });
 }
 
 template <exec::ExecutionPolicy P, class It, class Out, class Pred>
 Out remove_copy_if(P&& policy, It first, It last, Out out, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::remove_copy_if);
   return pstlb::copy_if(std::forward<P>(policy), first, last, out,
                         [&pred](const auto& x) { return !pred(x); });
 }
@@ -264,6 +276,7 @@ Out remove_copy_if(P&& policy, It first, It last, Out out, Pred pred) {
 template <exec::ExecutionPolicy P, class It1, class Out1, class Out2, class Pred>
 std::pair<Out1, Out2> partition_copy(P&& policy, It1 first, It1 last, Out1 out_true,
                                      Out2 out_false, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::partition_copy);
   const index_t n = std::distance(first, last);
   return exec::dispatch<It1, Out1, Out2>(
       policy, n,
@@ -307,6 +320,7 @@ std::pair<Out1, Out2> partition_copy(P&& policy, It1 first, It1 last, Out1 out_t
 /// legal (unlike in-place unique, which is rewritten via a buffer below).
 template <exec::ExecutionPolicy P, class It, class Out, class Pred>
 Out unique_copy(P&& policy, It first, It last, Out out, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::unique_copy);
   const index_t n = std::distance(first, last);
   if (n == 0) { return out; }
   auto keep = [&](index_t i) { return i == 0 || !pred(first[i - 1], first[i]); };
@@ -342,6 +356,7 @@ Out unique_copy(P&& policy, It first, It last, Out out, Pred pred) {
 
 template <exec::ExecutionPolicy P, class It, class Out>
 Out unique_copy(P&& policy, It first, It last, Out out) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::unique_copy);
   return pstlb::unique_copy(std::forward<P>(policy), first, last, out,
                             std::equal_to<>{});
 }
@@ -350,6 +365,7 @@ Out unique_copy(P&& policy, It first, It last, Out out) {
 
 template <exec::ExecutionPolicy P, class It, class Pred>
 It remove_if(P&& policy, It first, It last, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::remove_if);
   using T = typename std::iterator_traits<It>::value_type;
   const index_t n = std::distance(first, last);
   return exec::dispatch<It>(
@@ -367,12 +383,14 @@ It remove_if(P&& policy, It first, It last, Pred pred) {
 
 template <exec::ExecutionPolicy P, class It, class T>
 It remove(P&& policy, It first, It last, const T& value) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::remove);
   return pstlb::remove_if(std::forward<P>(policy), first, last,
                           [&value](const auto& x) { return x == value; });
 }
 
 template <exec::ExecutionPolicy P, class It, class Pred>
 It unique(P&& policy, It first, It last, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::unique);
   using T = typename std::iterator_traits<It>::value_type;
   const index_t n = std::distance(first, last);
   return exec::dispatch<It>(
@@ -390,6 +408,7 @@ It unique(P&& policy, It first, It last, Pred pred) {
 
 template <exec::ExecutionPolicy P, class It>
 It unique(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::unique);
   return pstlb::unique(std::forward<P>(policy), first, last, std::equal_to<>{});
 }
 

@@ -16,6 +16,7 @@
 
 #include "backends/skeletons.hpp"
 #include "pstlb/exec.hpp"
+#include "trace/stats_registry.hpp"
 
 namespace pstlb {
 
@@ -137,6 +138,7 @@ Out set_op_impl(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out ou
 template <exec::ExecutionPolicy P, class It1, class It2, class Out, class Compare>
 Out set_union(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out out,
               Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::set_union);
   return detail::set_op_impl(std::forward<P>(policy), first1, last1, first2, last2,
                              out, comp, [comp](auto a0, auto a1, auto b0, auto b1, auto o) {
                                return std::set_union(a0, a1, b0, b1, o, comp);
@@ -145,6 +147,7 @@ Out set_union(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out out,
 
 template <exec::ExecutionPolicy P, class It1, class It2, class Out>
 Out set_union(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out out) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::set_union);
   return pstlb::set_union(std::forward<P>(policy), first1, last1, first2, last2, out,
                           std::less<>{});
 }
@@ -152,6 +155,7 @@ Out set_union(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out out)
 template <exec::ExecutionPolicy P, class It1, class It2, class Out, class Compare>
 Out set_intersection(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out out,
                      Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::set_intersection);
   return detail::set_op_impl(std::forward<P>(policy), first1, last1, first2, last2,
                              out, comp, [comp](auto a0, auto a1, auto b0, auto b1, auto o) {
                                return std::set_intersection(a0, a1, b0, b1, o, comp);
@@ -160,6 +164,7 @@ Out set_intersection(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, O
 
 template <exec::ExecutionPolicy P, class It1, class It2, class Out>
 Out set_intersection(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out out) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::set_intersection);
   return pstlb::set_intersection(std::forward<P>(policy), first1, last1, first2, last2,
                                  out, std::less<>{});
 }
@@ -167,6 +172,7 @@ Out set_intersection(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, O
 template <exec::ExecutionPolicy P, class It1, class It2, class Out, class Compare>
 Out set_difference(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out out,
                    Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::set_difference);
   return detail::set_op_impl(std::forward<P>(policy), first1, last1, first2, last2,
                              out, comp, [comp](auto a0, auto a1, auto b0, auto b1, auto o) {
                                return std::set_difference(a0, a1, b0, b1, o, comp);
@@ -175,6 +181,7 @@ Out set_difference(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out
 
 template <exec::ExecutionPolicy P, class It1, class It2, class Out>
 Out set_difference(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out out) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::set_difference);
   return pstlb::set_difference(std::forward<P>(policy), first1, last1, first2, last2,
                                out, std::less<>{});
 }
@@ -182,6 +189,7 @@ Out set_difference(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out
 template <exec::ExecutionPolicy P, class It1, class It2, class Out, class Compare>
 Out set_symmetric_difference(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2,
                              Out out, Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::set_symmetric_difference);
   return detail::set_op_impl(std::forward<P>(policy), first1, last1, first2, last2,
                              out, comp, [comp](auto a0, auto a1, auto b0, auto b1, auto o) {
                                return std::set_symmetric_difference(a0, a1, b0, b1, o,
@@ -192,6 +200,7 @@ Out set_symmetric_difference(P&& policy, It1 first1, It1 last1, It2 first2, It2 
 template <exec::ExecutionPolicy P, class It1, class It2, class Out>
 Out set_symmetric_difference(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2,
                              Out out) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::set_symmetric_difference);
   return pstlb::set_symmetric_difference(std::forward<P>(policy), first1, last1,
                                          first2, last2, out, std::less<>{});
 }
@@ -201,6 +210,7 @@ Out set_symmetric_difference(P&& policy, It1 first1, It1 last1, It2 first2, It2 
 /// individually be included in its value-aligned haystack slice.
 template <exec::ExecutionPolicy P, class It1, class It2, class Compare>
 bool includes(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::includes);
   const index_t n1 = std::distance(first1, last1);
   const index_t n2 = std::distance(first2, last2);
   if (n2 == 0) { return true; }
@@ -229,6 +239,7 @@ bool includes(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Compare 
 
 template <exec::ExecutionPolicy P, class It1, class It2>
 bool includes(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::includes);
   return pstlb::includes(std::forward<P>(policy), first1, last1, first2, last2,
                          std::less<>{});
 }

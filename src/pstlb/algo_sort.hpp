@@ -35,6 +35,7 @@
 #include "pstlb/detail/sort_stats.hpp"
 #include "pstlb/env.hpp"
 #include "pstlb/exec.hpp"
+#include "trace/stats_registry.hpp"
 
 namespace pstlb {
 
@@ -234,6 +235,7 @@ void parallel_sort_dispatch(const B& be, const P& policy, It first, index_t n,
 
 template <exec::ExecutionPolicy P, class It, class Compare>
 void sort(P&& policy, It first, It last, Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::sort);
   const index_t n = std::distance(first, last);
   exec::dispatch<It>(
       policy, n, [&] { std::sort(first, last, comp); },
@@ -245,11 +247,13 @@ void sort(P&& policy, It first, It last, Compare comp) {
 
 template <exec::ExecutionPolicy P, class It>
 void sort(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::sort);
   pstlb::sort(std::forward<P>(policy), first, last, std::less<>{});
 }
 
 template <exec::ExecutionPolicy P, class It, class Compare>
 void stable_sort(P&& policy, It first, It last, Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::stable_sort);
   const index_t n = std::distance(first, last);
   exec::dispatch<It>(
       policy, n, [&] { std::stable_sort(first, last, comp); },
@@ -261,12 +265,14 @@ void stable_sort(P&& policy, It first, It last, Compare comp) {
 
 template <exec::ExecutionPolicy P, class It>
 void stable_sort(P&& policy, It first, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::stable_sort);
   pstlb::stable_sort(std::forward<P>(policy), first, last, std::less<>{});
 }
 
 template <exec::ExecutionPolicy P, class It1, class It2, class Out, class Compare>
 Out merge(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out out,
           Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::merge);
   const index_t n1 = std::distance(first1, last1);
   const index_t n2 = std::distance(first2, last2);
   return exec::dispatch<It1, It2, Out>(
@@ -281,12 +287,14 @@ Out merge(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out out,
 
 template <exec::ExecutionPolicy P, class It1, class It2, class Out>
 Out merge(P&& policy, It1 first1, It1 last1, It2 first2, It2 last2, Out out) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::merge);
   return pstlb::merge(std::forward<P>(policy), first1, last1, first2, last2, out,
                       std::less<>{});
 }
 
 template <exec::ExecutionPolicy P, class It, class Compare>
 void inplace_merge(P&& policy, It first, It middle, It last, Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::inplace_merge);
   using T = typename std::iterator_traits<It>::value_type;
   const index_t n = std::distance(first, last);
   exec::dispatch<It>(
@@ -306,6 +314,7 @@ void inplace_merge(P&& policy, It first, It middle, It last, Compare comp) {
 
 template <exec::ExecutionPolicy P, class It>
 void inplace_merge(P&& policy, It first, It middle, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::inplace_merge);
   pstlb::inplace_merge(std::forward<P>(policy), first, middle, last, std::less<>{});
 }
 
@@ -313,6 +322,7 @@ void inplace_merge(P&& policy, It first, It middle, It last) {
 
 template <exec::ExecutionPolicy P, class It, class Pred>
 It stable_partition(P&& policy, It first, It last, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::stable_partition);
   using T = typename std::iterator_traits<It>::value_type;
   const index_t n = std::distance(first, last);
   return exec::dispatch<It>(
@@ -351,6 +361,7 @@ It stable_partition(P&& policy, It first, It last, Pred pred) {
 /// valid (and parallel-friendly) one.
 template <exec::ExecutionPolicy P, class It, class Pred>
 It partition(P&& policy, It first, It last, Pred pred) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::partition);
   return pstlb::stable_partition(std::forward<P>(policy), first, last, pred);
 }
 
@@ -364,29 +375,34 @@ It partition(P&& policy, It first, It last, Pred pred) {
 
 template <exec::ExecutionPolicy P, class It, class Compare>
 void nth_element(P&& policy, It first, It nth, It last, Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::nth_element);
   if (first == last || nth == last) { return; }
   pstlb::sort(std::forward<P>(policy), first, last, comp);
 }
 
 template <exec::ExecutionPolicy P, class It>
 void nth_element(P&& policy, It first, It nth, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::nth_element);
   pstlb::nth_element(std::forward<P>(policy), first, nth, last, std::less<>{});
 }
 
 template <exec::ExecutionPolicy P, class It, class Compare>
 void partial_sort(P&& policy, It first, It middle, It last, Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::partial_sort);
   if (first == middle) { return; }
   pstlb::sort(std::forward<P>(policy), first, last, comp);
 }
 
 template <exec::ExecutionPolicy P, class It>
 void partial_sort(P&& policy, It first, It middle, It last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::partial_sort);
   pstlb::partial_sort(std::forward<P>(policy), first, middle, last, std::less<>{});
 }
 
 template <exec::ExecutionPolicy P, class It, class RIt, class Compare>
 RIt partial_sort_copy(P&& policy, It first, It last, RIt d_first, RIt d_last,
                       Compare comp) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::partial_sort_copy);
   const index_t n = std::distance(first, last);
   const index_t m = std::distance(d_first, d_last);
   const index_t k = std::min(n, m);
@@ -407,6 +423,7 @@ RIt partial_sort_copy(P&& policy, It first, It last, RIt d_first, RIt d_last,
 
 template <exec::ExecutionPolicy P, class It, class RIt>
 RIt partial_sort_copy(P&& policy, It first, It last, RIt d_first, RIt d_last) {
+  stats::scoped_call pstlb_stats_scope_(stats::op::partial_sort_copy);
   return pstlb::partial_sort_copy(std::forward<P>(policy), first, last, d_first,
                                   d_last, std::less<>{});
 }

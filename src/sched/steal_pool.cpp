@@ -165,8 +165,14 @@ void steal_pool::work(unsigned tid, unsigned nthreads) {
         item = deques_[victim]->steal();
         const bool local =
             plan == nullptr || plan->node_of[victim] == plan->node_of[tid];
+        // A successful steal links the stolen range so the span graph can
+        // pair it with the victim's split that shed exactly this range.
         trace::count_steal(trace::pool_id::steal, item.has_value(), victim,
-                           local);
+                           local,
+                           item.has_value()
+                               ? trace::link_range(chunk_begin(*item),
+                                                   chunk_end(*item))
+                               : 0);
       }
       if (!item) {
         if (idle_since == 0) { idle_since = trace::span_begin(); }
@@ -190,7 +196,7 @@ void steal_pool::work(unsigned tid, unsigned nthreads) {
     while (end - begin > 1) {
       const std::uint32_t mid = begin + (end - begin) / 2;
       mine.push(pack_chunks(mid, end));
-      trace::count_split(trace::pool_id::steal);
+      trace::count_split(trace::pool_id::steal, trace::link_range(mid, end));
       end = mid;
     }
     index_t eb = 0;
@@ -199,7 +205,8 @@ void steal_pool::work(unsigned tid, unsigned nthreads) {
     const std::uint64_t t0 = trace::span_begin();
     ctx.execute_chunk(static_cast<index_t>(begin), tid);
     trace::record_span(trace::pool_id::steal, trace::event_kind::chunk, t0,
-                       static_cast<std::uint64_t>(ee - eb));
+                       static_cast<std::uint64_t>(ee - eb),
+                       trace::link_task(begin));
     remaining_.fetch_sub(1, std::memory_order_release);
   }
 }

@@ -61,11 +61,11 @@ void task_queue_pool::ensure(unsigned participants) {
   }
 }
 
-void task_queue_pool::submit(std::function<void()> task) {
+void task_queue_pool::submit(std::function<void()> task, std::uint64_t link) {
   auto* node = new task_node{std::move(task)};
   // The heap allocation + central enqueue above IS the HPX-like per-task
   // overhead the paper measures; `spawn` telemetry counts exactly these.
-  trace::count_spawn(trace::pool_id::task_queue);
+  trace::count_spawn(trace::pool_id::task_queue, link);
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(node);
@@ -153,15 +153,20 @@ void task_queue_pool::run(unsigned participants, const loop_context& ctx) {
   std::exception_ptr submit_error;
   try {
     for (index_t c = 0; c < chunks; ++c) {
-      submit([&run_ctx, c] {
-        index_t b = 0;
-        index_t e = 0;
-        run_ctx.chunk_bounds(c, b, e);
-        const std::uint64_t t0 = trace::span_begin();
-        run_ctx.execute_chunk(c, tls_slot);
-        trace::record_span(trace::pool_id::task_queue, trace::event_kind::chunk,
-                           t0, static_cast<std::uint64_t>(e - b));
-      });
+      const std::uint64_t link =
+          trace::link_task(static_cast<std::uint64_t>(c));
+      submit(
+          [&run_ctx, c, link] {
+            index_t b = 0;
+            index_t e = 0;
+            run_ctx.chunk_bounds(c, b, e);
+            const std::uint64_t t0 = trace::span_begin();
+            run_ctx.execute_chunk(c, tls_slot);
+            trace::record_span(trace::pool_id::task_queue,
+                               trace::event_kind::chunk, t0,
+                               static_cast<std::uint64_t>(e - b), link);
+          },
+          link);
     }
   } catch (...) {
     submit_error = std::current_exception();

@@ -35,8 +35,10 @@ class task_queue_pool {
   void run(unsigned participants, const loop_context& ctx);
 
   /// Generic task submission; pair with wait_all() to join. Tasks must not
-  /// themselves call wait_all().
-  void submit(std::function<void()> task);
+  /// themselves call wait_all(). `link` is the causal-link word stamped on
+  /// the spawn trace event (trace::link_task of the chunk index for loop
+  /// chunks) so the span graph can pair each spawn with the chunk it became.
+  void submit(std::function<void()> task, std::uint64_t link = 0);
   void wait_all();
 
   void ensure(unsigned participants);

@@ -1,0 +1,41 @@
+// Offline reader for the Chrome-trace JSON our exporter writes.
+//
+// `pstlb_cli --mode=analyze <trace.json>` and the advisor tests consume
+// exported traces rather than live rings, so the analysis layer needs the
+// inverse of trace/chrome_trace: parse the trace_event stream back into
+// trace::event records (kind, pool, timestamps, arg, causal link), thread
+// labels and counter-track series. The parser is a self-contained
+// recursive-descent JSON reader — no third-party dependency — and is
+// deliberately strict about OUR format: any traceEvents element it cannot
+// map back to an event/meta/counter is counted in `unparsed` (the
+// acceptance bar is zero for traces we produced).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace pstlb::trace::analysis {
+
+struct parsed_trace {
+  std::vector<event> events;          // reconstructed ring events
+  std::vector<std::uint32_t> tids;    // parallel to events: exporter tid
+  std::map<std::uint32_t, std::string> thread_names;
+  std::map<std::string, std::vector<counter_sample>> counters;
+  std::size_t total_objects = 0;  // traceEvents elements seen
+  std::size_t unparsed = 0;       // elements that mapped to nothing
+};
+
+/// Parses a write_chrome_trace document. Throws std::runtime_error on
+/// malformed JSON (truncated file, syntax error); unknown-but-well-formed
+/// events only bump `unparsed`.
+parsed_trace parse_chrome_trace(std::string_view json);
+
+/// File convenience; throws std::runtime_error when the file cannot be read.
+parsed_trace parse_chrome_trace_file(const std::string& path);
+
+}  // namespace pstlb::trace::analysis

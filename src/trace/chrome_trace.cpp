@@ -4,6 +4,7 @@
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 #include "pstlb/env.hpp"
 #include "trace/trace.hpp"
@@ -19,9 +20,38 @@ void write_us(std::ostream& os, std::uint64_t ns) {
      << static_cast<char>('0' + ns / 10 % 10) << static_cast<char>('0' + ns % 10);
 }
 
+/// JSON string escaping for event/track names. Anything outside printable
+/// ASCII — control bytes AND bytes >= 0x7F — is emitted as \u00XX: labels
+/// come from PSTLB_TOPOLOGY specs and thread names we did not write, and a
+/// raw non-UTF-8 byte makes Perfetto reject the whole file, whereas \u00XX
+/// of the Latin-1 interpretation is always valid JSON.
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (u < 0x20 || u >= 0x7F) {
+          os << "\\u00" << "0123456789abcdef"[(u >> 4) & 0xF]
+             << "0123456789abcdef"[u & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
 void write_event(std::ostream& os, const event& e, std::uint32_t tid) {
-  os << "{\"name\":\"" << kind_name(e.kind) << "\",\"cat\":\""
-     << pool_name(e.pool) << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
+  os << "{\"name\":";
+  write_json_string(os, kind_name(e.kind));
+  os << ",\"cat\":";
+  write_json_string(os, pool_name(e.pool));
+  os << ",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
   write_us(os, e.begin_ns);
   const bool span = e.kind == event_kind::chunk || e.kind == event_kind::idle ||
                     e.kind == event_kind::region ||
@@ -37,7 +67,9 @@ void write_event(std::ostream& os, const event& e, std::uint32_t tid) {
   if (e.kind == event_kind::steal_ok || e.kind == event_kind::steal_fail) {
     // Victim tid plus the locality tag packed into steal_remote_bit.
     os << "victim\":" << (e.arg & 0xFFFFFFFFull) << ",\"remote\":"
-       << (((e.arg & steal_remote_bit) != 0) ? "true" : "false") << "}}";
+       << (((e.arg & steal_remote_bit) != 0) ? "true" : "false");
+    if (e.link != 0) { os << ",\"link\":" << e.link; }
+    os << "}}";
     return;
   }
   switch (e.kind) {
@@ -45,29 +77,11 @@ void write_event(std::ostream& os, const event& e, std::uint32_t tid) {
     case event_kind::phase: os << "phase"; break;
     default: os << "arg"; break;
   }
-  os << "\":" << e.arg << "}}";
-}
-
-/// JSON string escaping for thread labels (labels are ASCII identifiers in
-/// practice, but never trust a string you didn't write this call).
-void write_json_string(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
-             << "0123456789abcdef"[c & 0xF];
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
+  os << "\":" << e.arg;
+  // Causal-link word: round-trips through --mode=analyze so the span graph
+  // can rebuild spawn/steal/lookback edges from an exported file.
+  if (e.link != 0) { os << ",\"link\":" << e.link; }
+  os << "}}";
 }
 
 /// JSON number formatting for counter values: finite, fixed notation (the

@@ -1,0 +1,173 @@
+// Always-on per-algorithm-call statistics registry.
+//
+// Every pstlb front-end (for_each, reduce, sort, ...) opens a stats::
+// scoped_call naming its op. The registry keeps, per op, an invocation
+// counter and a log2-bucketed latency histogram from which p50/p95/p99/max
+// are derived — the observability primitive a long-running process queries
+// without enabling the (much heavier) event-ring tracer.
+//
+// Design constraints, in order:
+//   1. Disabled hot path is ONE relaxed atomic load + branch per call
+//      (target <= 2 ns; bench/microbench_stats_overhead measures it) — the
+//      registry is compiled into every build, so fig3/fig5/fig6 numbers
+//      must not move while PSTLB_STATS is unset.
+//   2. Enabled hot path is lock-free and allocation-free: two clock reads
+//      plus a handful of relaxed fetch_adds into cache-line-padded per-op
+//      slots. Concurrent callers of the same op share the slot; different
+//      ops never false-share.
+//   3. Nested front-end calls (fill_n delegating to fill, sort phases
+//      calling merge) record only the *outermost* call, via a thread-local
+//      depth counter — the histogram counts user-visible invocations, each
+//      under the name the user called.
+//
+// Environment:
+//   PSTLB_STATS=1       enable at process start
+//   PSTLB_STATS_FILE=f  write a JSON summary to `f` at exit (implies enable)
+// While enabled, SIGUSR2 triggers an async-signal-safe live dump to stderr
+// (integer-only formatting, raw ::write — same discipline as the bench
+// report's crash flush).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "pstlb/common.hpp"
+
+namespace pstlb::stats {
+
+/// One entry per front-end algorithm name. Order is the registry's storage
+/// order; append only (dumps key by name, not index).
+enum class op : std::uint16_t {
+  // algo_foreach.hpp
+  for_each, for_each_n, transform, fill, fill_n, generate, generate_n,
+  copy, copy_n, move, swap_ranges, replace, replace_if, replace_copy,
+  reverse, reverse_copy, rotate_copy, shift_left, shift_right, rotate,
+  adjacent_difference, destroy, destroy_n, uninitialized_default_construct,
+  uninitialized_value_construct, uninitialized_fill, uninitialized_copy,
+  uninitialized_move,
+  // algo_reduce.hpp
+  reduce, transform_reduce, count_if, count, min_element, max_element,
+  minmax_element, find_if, find_if_not, find, any_of, none_of, all_of,
+  adjacent_find, mismatch, equal, is_sorted_until, is_sorted, is_heap_until,
+  is_heap, is_partitioned, lexicographical_compare, find_first_of, search,
+  search_n, find_end,
+  // algo_scan.hpp
+  inclusive_scan, exclusive_scan, transform_inclusive_scan,
+  transform_exclusive_scan, copy_if, remove_copy, remove_copy_if,
+  partition_copy, unique_copy, remove_if, remove, unique,
+  // algo_set.hpp
+  set_union, set_intersection, set_difference, set_symmetric_difference,
+  includes,
+  // algo_sort.hpp
+  sort, stable_sort, merge, inplace_merge, stable_partition, partition,
+  nth_element, partial_sort, partial_sort_copy,
+  op_count,
+};
+
+inline constexpr std::size_t op_count = static_cast<std::size_t>(op::op_count);
+
+std::string_view op_name(op o) noexcept;
+
+/// Log2-ns latency histogram resolution: bucket b counts calls whose
+/// duration lies in [2^b, 2^(b+1)) ns (bucket 0 also holds 0 ns); 2^62 ns
+/// (~146 years) saturates into the last bucket.
+inline constexpr std::size_t latency_buckets = 63;
+
+namespace detail {
+
+inline std::atomic<bool> g_enabled{false};
+
+/// Outermost-call guard: delegating overloads (fill_n -> fill) and internal
+/// phase calls only record at depth 0. Plain int thread_local: no dynamic
+/// init, so the access is a TLS offset load, not a guarded call.
+inline thread_local unsigned g_depth = 0;
+
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void record(op o, std::uint64_t ns) noexcept;
+
+}  // namespace detail
+
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Enables/disables recording (PSTLB_STATS does this at process start).
+void set_enabled(bool on) noexcept;
+
+/// RAII call recorder. Constructing one while stats are disabled costs one
+/// relaxed load + branch; while enabled, the outermost scoped_call on each
+/// thread takes two clock reads and a few relaxed atomic adds.
+class scoped_call {
+ public:
+  explicit scoped_call(op o) noexcept : op_(o) {
+    if (!enabled()) { return; }
+    entered_ = true;
+    if (++detail::g_depth == 1) { t0_ = detail::now_ns(); }
+  }
+  ~scoped_call() {
+    if (!entered_) { return; }
+    if (--detail::g_depth == 0 && t0_ != 0) {
+      detail::record(op_, detail::now_ns() - t0_);
+    }
+  }
+  scoped_call(const scoped_call&) = delete;
+  scoped_call& operator=(const scoped_call&) = delete;
+
+ private:
+  op op_;
+  std::uint64_t t0_ = 0;
+  bool entered_ = false;
+};
+
+/// Point-in-time copy of one op's counters (relaxed reads; exact once the
+/// callers quiesce, racy-but-consistent-enough while they run).
+struct op_snapshot {
+  op o = op::op_count;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::uint64_t hist[latency_buckets] = {};
+
+  /// Histogram quantile: lower bound (2^bucket ns) of the bucket holding
+  /// the q-th call; 0 when no calls were recorded.
+  double quantile_ns(double q) const noexcept;
+  double p50_ns() const noexcept { return quantile_ns(0.50); }
+  double p95_ns() const noexcept { return quantile_ns(0.95); }
+  double p99_ns() const noexcept { return quantile_ns(0.99); }
+  double mean_ns() const noexcept {
+    return calls > 0 ? static_cast<double>(total_ns) / static_cast<double>(calls) : 0;
+  }
+};
+
+/// Snapshots every op that recorded at least one call, enum-ordered.
+std::vector<op_snapshot> snapshot();
+
+/// Zeroes every counter (tests; not async-signal-safe).
+void reset();
+
+/// JSON document: {"ops":[{"op":...,"calls":...,...}]}.
+void write_json(std::ostream& os);
+
+/// Prometheus text exposition (pstlb_calls_total, pstlb_latency_ns{...}).
+void write_prometheus(std::ostream& os);
+
+/// Writes the JSON summary to PSTLB_STATS_FILE; false when the variable is
+/// unset or the file cannot be written. Registered atexit when the variable
+/// is set.
+bool dump_to_env_file();
+
+/// Async-signal-safe dump of the live counters to `fd` (integers only,
+/// hand-rolled formatting, raw ::write). The SIGUSR2 handler calls this.
+void signal_safe_dump(int fd) noexcept;
+
+}  // namespace pstlb::stats

@@ -3,9 +3,11 @@
 #include <bit>
 #include <chrono>
 #include <cstdlib>
+#include <iostream>
 #include <map>
 
 #include "pstlb/env.hpp"
+#include "trace/analysis/advisor.hpp"
 #include "trace/chrome_trace.hpp"
 
 namespace pstlb::trace {
@@ -52,6 +54,12 @@ struct env_init {
     if (!env::string_or("PSTLB_TRACE_FILE", "").empty()) {
       std::atexit([] { export_to_env_file(); });
     }
+    // PSTLB_ANALYZE implies tracing: capture the whole run and print the
+    // in-process scalability-advisor verdict to stderr at exit.
+    if (env::truthy("PSTLB_ANALYZE")) {
+      detail::g_enabled.store(true, std::memory_order_relaxed);
+      std::atexit([] { analysis::report_live(std::cerr); });
+    }
   }
 };
 env_init g_env_init;
@@ -84,6 +92,7 @@ void event_ring::push(const event& e) noexcept {
   s.begin_ns.store(e.begin_ns, std::memory_order_relaxed);
   s.end_ns.store(e.end_ns, std::memory_order_relaxed);
   s.arg.store(e.arg, std::memory_order_relaxed);
+  s.link.store(e.link, std::memory_order_relaxed);
   s.meta.store(static_cast<std::uint64_t>(e.kind) |
                    (static_cast<std::uint64_t>(e.pool) << 8),
                std::memory_order_relaxed);
@@ -103,6 +112,7 @@ std::vector<event> event_ring::snapshot() const {
     e.begin_ns = s.begin_ns.load(std::memory_order_relaxed);
     e.end_ns = s.end_ns.load(std::memory_order_relaxed);
     e.arg = s.arg.load(std::memory_order_relaxed);
+    e.link = s.link.load(std::memory_order_relaxed);
     const std::uint64_t meta = s.meta.load(std::memory_order_relaxed);
     // Re-validate: if the owner lapped us mid-copy the payload may mix two
     // events — drop it rather than export garbage.
@@ -195,7 +205,8 @@ sched_totals totals() noexcept {
 namespace detail {
 
 void record_span_slow(pool_id p, event_kind k, std::uint64_t begin_ns,
-                      std::uint64_t end_ns, std::uint64_t arg) noexcept {
+                      std::uint64_t end_ns, std::uint64_t arg,
+                      std::uint64_t link) noexcept {
   event_ring& ring = local_ring();
   const std::uint64_t dur = end_ns > begin_ns ? end_ns - begin_ns : 0;
   switch (k) {
@@ -213,10 +224,11 @@ void record_span_slow(pool_id p, event_kind k, std::uint64_t begin_ns,
     default:
       break;  // region spans: busy time is accounted by their chunks
   }
-  ring.push(event{begin_ns, end_ns, arg, k, p});
+  ring.push(event{begin_ns, end_ns, arg, link, k, p});
 }
 
-void record_instant_slow(pool_id p, event_kind k, std::uint64_t arg) noexcept {
+void record_instant_slow(pool_id p, event_kind k, std::uint64_t arg,
+                         std::uint64_t link) noexcept {
   event_ring& ring = local_ring();
   switch (k) {
     case event_kind::steal_ok:
@@ -242,7 +254,7 @@ void record_instant_slow(pool_id p, event_kind k, std::uint64_t arg) noexcept {
       break;
   }
   const std::uint64_t now = now_ns();
-  ring.push(event{now, now, arg, k, p});
+  ring.push(event{now, now, arg, link, k, p});
 }
 
 }  // namespace detail

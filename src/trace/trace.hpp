@@ -74,9 +74,31 @@ struct event {
   std::uint64_t begin_ns = 0;
   std::uint64_t end_ns = 0;  // == begin_ns for instant events
   std::uint64_t arg = 0;
+  /// Causal-link word (0 = unlinked). Chunk/lookback spans carry the task
+  /// identity (link_task of the chunk/ticket index); split and steal
+  /// instants carry the shed/stolen chunk range (link_range), so the span
+  /// graph (trace/analysis) can reconstruct spawn, steal and lookback edges
+  /// without a per-pool tid mapping.
+  std::uint64_t link = 0;
   event_kind kind = event_kind::chunk;
   pool_id pool = pool_id::none;
 };
+
+/// Task-identity link: chunk/ticket index `id`, biased by 1 so 0 stays
+/// "unlinked". A spawn instant and the chunk span it produced share this
+/// value.
+inline constexpr std::uint64_t link_task(std::uint64_t id) noexcept {
+  return id + 1;
+}
+
+/// Chunk-range link for split/steal instants: [begin, end) packed as
+/// begin+1 in the low 32 bits and end in the high 32. A steal whose stolen
+/// range equals a split's shed range consumed that split's work.
+inline constexpr std::uint64_t link_range(std::uint32_t begin,
+                                          std::uint32_t end) noexcept {
+  return (static_cast<std::uint64_t>(begin) + 1) |
+         (static_cast<std::uint64_t>(end) << 32);
+}
 
 /// Log2 chunk-size histogram resolution (bucket b counts sizes in
 /// [2^b, 2^(b+1)); sizes >= 2^47 saturate into the last bucket).
@@ -137,6 +159,7 @@ class event_ring {
     std::atomic<std::uint64_t> begin_ns{0};
     std::atomic<std::uint64_t> end_ns{0};
     std::atomic<std::uint64_t> arg{0};
+    std::atomic<std::uint64_t> link{0};
     std::atomic<std::uint64_t> meta{0};  // kind | pool<<8
   };
 
@@ -177,8 +200,10 @@ namespace detail {
 inline std::atomic<bool> g_enabled{false};
 
 void record_span_slow(pool_id p, event_kind k, std::uint64_t begin_ns,
-                      std::uint64_t end_ns, std::uint64_t arg) noexcept;
-void record_instant_slow(pool_id p, event_kind k, std::uint64_t arg) noexcept;
+                      std::uint64_t end_ns, std::uint64_t arg,
+                      std::uint64_t link) noexcept;
+void record_instant_slow(pool_id p, event_kind k, std::uint64_t arg,
+                         std::uint64_t link) noexcept;
 }  // namespace detail
 
 /// True when tracing is active. This load + branch is the entire trace-off
@@ -203,31 +228,32 @@ inline std::uint64_t span_begin() noexcept {
 /// off at span start) is a no-op; spans armed before a mid-run disable are
 /// dropped too.
 inline void record_span(pool_id p, event_kind k, std::uint64_t begin_ns,
-                        std::uint64_t arg = 0) noexcept {
+                        std::uint64_t arg = 0, std::uint64_t link = 0) noexcept {
   if (begin_ns == 0 || !enabled()) { return; }
-  detail::record_span_slow(p, k, begin_ns, now_ns(), arg);
+  detail::record_span_slow(p, k, begin_ns, now_ns(), arg, link);
 }
 
 /// Steal-event arg layout: low 32 bits hold the victim tid; bit 32 marks a
 /// cross-NUMA-node (remote) attempt under the active locality plan.
 inline constexpr std::uint64_t steal_remote_bit = std::uint64_t{1} << 32;
 
-inline void count_steal(pool_id p, bool ok, unsigned victim,
-                        bool local = true) noexcept {
+inline void count_steal(pool_id p, bool ok, unsigned victim, bool local = true,
+                        std::uint64_t link = 0) noexcept {
   if (!enabled()) { return; }
   detail::record_instant_slow(p, ok ? event_kind::steal_ok : event_kind::steal_fail,
                               static_cast<std::uint64_t>(victim) |
-                                  (local ? 0 : steal_remote_bit));
+                                  (local ? 0 : steal_remote_bit),
+                              link);
 }
 
-inline void count_spawn(pool_id p) noexcept {
+inline void count_spawn(pool_id p, std::uint64_t link = 0) noexcept {
   if (!enabled()) { return; }
-  detail::record_instant_slow(p, event_kind::spawn, 0);
+  detail::record_instant_slow(p, event_kind::spawn, 0, link);
 }
 
-inline void count_split(pool_id p) noexcept {
+inline void count_split(pool_id p, std::uint64_t link = 0) noexcept {
   if (!enabled()) { return; }
-  detail::record_instant_slow(p, event_kind::split, 0);
+  detail::record_instant_slow(p, event_kind::split, 0, link);
 }
 
 /// Labels the calling thread's Perfetto track ("steal worker 3", ...).

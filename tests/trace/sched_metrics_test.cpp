@@ -211,5 +211,62 @@ TEST(SchedMetricsMath, DeltaIsSaturatingAndKeepsNewThreads) {
   EXPECT_EQ(inverse.threads[0].chunks, 0u);
 }
 
+// An empty window (back-to-back snapshots, no scheduler activity between
+// them) must be all zeros with every derived statistic still well-defined.
+TEST_F(TracedTest, EmptyWindowIsZeroWithDefinedDerivedStats) {
+  const sched_metrics w = window();
+  EXPECT_EQ(w.chunks(), 0u);
+  EXPECT_EQ(w.chunk_elems(), 0u);
+  EXPECT_EQ(w.steals_ok(), 0u);
+  EXPECT_EQ(w.steals_failed(), 0u);
+  EXPECT_EQ(w.tasks_spawned(), 0u);
+  EXPECT_EQ(w.range_splits(), 0u);
+  EXPECT_DOUBLE_EQ(w.busy_s(), 0.0);
+  EXPECT_DOUBLE_EQ(w.idle_s(), 0.0);
+  EXPECT_DOUBLE_EQ(w.chunk_size_p50(), 0.0);
+  EXPECT_DOUBLE_EQ(w.chunk_size_p95(), 0.0);
+  EXPECT_DOUBLE_EQ(w.load_imbalance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.steal_local_fraction(), 1.0);
+}
+
+// A single instant event mid-window must be accounted exactly — no other
+// counter may move.
+TEST_F(TracedTest, SingleEventWindowCountsExactlyOnce) {
+  count_steal(pool_id::steal, /*ok=*/true, /*victim=*/2, /*local=*/false);
+  const sched_metrics w = window();
+  EXPECT_EQ(w.steals_ok(), 1u);
+  EXPECT_EQ(w.steals_remote_ok(), 1u);
+  EXPECT_EQ(w.steals_failed(), 0u);
+  EXPECT_DOUBLE_EQ(w.steal_local_fraction(), 0.0);
+  EXPECT_EQ(w.chunks(), 0u);
+  EXPECT_EQ(w.tasks_spawned(), 0u);
+  EXPECT_EQ(w.range_splits(), 0u);
+}
+
+// sched_metrics reads the monotonic ring COUNTERS, not the ring events: a
+// window that overwrites the event ring many times over must still count
+// every chunk exactly, while the event ring itself retains only the last
+// `capacity()` events.
+TEST_F(TracedTest, RingOverwriteMidWindowDoesNotClipCounters) {
+  event_ring& ring = local_ring();
+  const std::uint64_t pushed_before = ring.pushed();
+  const std::size_t n = ring.capacity() + ring.capacity() / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    record_span(pool_id::fork_join, event_kind::chunk, span_begin(),
+                /*elems=*/16);
+  }
+  const sched_metrics w = window();
+  EXPECT_EQ(w.chunks(), n);
+  EXPECT_EQ(w.chunk_elems(), n * 16u);
+  // All 16-element chunks land in log2 bucket 4: the histogram is counter-
+  // backed too, so wraparound cannot clip it either.
+  EXPECT_EQ(w.chunk_hist[4], n);
+  EXPECT_DOUBLE_EQ(w.chunk_size_p50(), 16.0);
+  // The event ring, by contrast, did overwrite: it retains at most
+  // capacity() events even though we pushed 1.5x that many.
+  EXPECT_EQ(ring.pushed() - pushed_before, n);
+  EXPECT_LE(ring.snapshot().size(), ring.capacity());
+}
+
 }  // namespace
 }  // namespace pstlb::trace
