@@ -13,6 +13,7 @@
 #include <numeric>
 #include <vector>
 
+#include "bench_core/wrapper.hpp"
 #include "counters/counters.hpp"
 #include "pstlb/env.hpp"
 #include "pstlb/pstlb.hpp"
@@ -32,18 +33,17 @@ skeleton_sample measure_scan(exec::scan_skeleton skeleton, unsigned threads,
   exec::steal_policy policy{threads};
   policy.seq_threshold = 0;
   policy.scan = skeleton;
-  skeleton_sample best;
-  for (int rep = 0; rep <= reps; ++rep) {  // rep 0 is warmup
-    counters::region region("fig5/native");
+  reps_result run = run_reps("fig5/native", reps, [] {}, [&] {
     pstlb::inclusive_scan(policy, input.begin(), input.end(), output.begin());
-    const auto& sample = region.stop();
-    if (rep == 0) { continue; }
-    if (best.seconds == 0 || sample.seconds < best.seconds) {
-      best.seconds = sample.seconds;
-      best.bytes_read = sample.bytes_read;
-      best.bytes_written = sample.bytes_written;
-    }
-  }
+  });
+  record_native_result(
+      "inclusive_scan",
+      skeleton == exec::scan_skeleton::two_pass ? "two_pass" : "single_pass",
+      static_cast<double>(input.size()), threads, run.samples);
+  skeleton_sample best;
+  best.seconds = run.best.seconds;
+  best.bytes_read = run.best.bytes_read;
+  best.bytes_written = run.best.bytes_written;
   return best;
 }
 

@@ -11,6 +11,7 @@
 #include <random>
 #include <vector>
 
+#include "bench_core/wrapper.hpp"
 #include "counters/counters.hpp"
 #include "pstlb/detail/sort_stats.hpp"
 #include "pstlb/env.hpp"
@@ -31,20 +32,21 @@ sort_sample measure_sort(exec::sort_path path, unsigned threads,
   policy.seq_threshold = 0;
   policy.sort = path;
   sort_sample best;
-  for (int rep = 0; rep <= reps; ++rep) {  // rep 0 is warmup
-    std::copy(input.begin(), input.end(), work.begin());
-    // Clear the snapshot: at threads=1 the dispatcher runs std::sort and no
-    // pipeline writes it, so a stale snapshot from a prior run would linger.
-    detail::last_sort_traffic() = {};
-    counters::region region("fig7/native");
-    pstlb::sort(policy, work.begin(), work.begin() + input.size());
-    const auto& sample = region.stop();
-    if (rep == 0) { continue; }
-    if (best.seconds == 0 || sample.seconds < best.seconds) {
-      best.seconds = sample.seconds;
-      best.stats = detail::last_sort_traffic();
-    }
-  }
+  reps_result run = run_reps(
+      "fig7/native", reps,
+      [&] {
+        std::copy(input.begin(), input.end(), work.begin());
+        // Clear the snapshot: at threads=1 the dispatcher runs std::sort and
+        // no pipeline writes it, so a stale snapshot from a prior run would
+        // linger.
+        detail::last_sort_traffic() = {};
+      },
+      [&] { pstlb::sort(policy, work.begin(), work.begin() + input.size()); },
+      [&] { best.stats = detail::last_sort_traffic(); });
+  best.seconds = run.best.seconds;
+  record_native_result("sort",
+                       path == exec::sort_path::merge ? "merge" : "sample",
+                       static_cast<double>(input.size()), threads, run.samples);
   return best;
 }
 

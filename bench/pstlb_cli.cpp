@@ -7,6 +7,8 @@
 //             --backend=GCC-GNU --threads=128 --size=2^30 --explain
 //   pstlb_cli --mode=native --kernel=reduce --backend=steal
 //             --threads=4 --size=2^20 --reps=9
+//   pstlb_cli --mode=compare baseline.json candidate.json --threshold=2
+//   pstlb_cli --mode=trend results_dir/
 //   pstlb_cli --list
 //
 // Without arguments it prints usage plus a small native demo (exit 0), so
@@ -22,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <numeric>
@@ -31,7 +34,10 @@
 
 #include "backends/backend_registry.hpp"
 #include "bench_core/generators.hpp"
+#include "bench_core/regress.hpp"
 #include "bench_core/report.hpp"
+#include "bench_core/result_store.hpp"
+#include "bench_core/wrapper.hpp"
 #include "counters/counters.hpp"
 #include "pstlb/fault.hpp"
 #include "pstlb/pstlb.hpp"
@@ -65,6 +71,9 @@ struct options {
   // --mode=analyze: offline trace analysis.
   std::string trace_path;  // --trace=PATH or positional
   bool json = false;       // JSON verdict instead of annotated text
+  // --mode=compare / --mode=trend: bench-result documents.
+  std::vector<std::string> positionals;  // files (compare) or dir (trend)
+  double threshold = 2.0;                // noise threshold, percent
 };
 
 double parse_size(const std::string& text) {
@@ -125,13 +134,17 @@ bool parse_args(int argc, char** argv, options& opt) {
       opt.fault = fault_v;
     } else if (const char* trace_v = value_of("--trace")) {
       opt.trace_path = trace_v;
+    } else if (const char* threshold_v = value_of("--threshold")) {
+      opt.threshold = std::atof(threshold_v);
     } else if (arg == "--json") {
       opt.json = true;
     } else if (arg == "--help" || arg == "-h") {
       opt.mode = "help";
     } else if (!arg.empty() && arg[0] != '-') {
-      // Positional operand: the trace file for --mode=analyze.
-      opt.trace_path = arg;
+      // Positional operand: the trace file for --mode=analyze, the two
+      // documents for --mode=compare, the directory for --mode=trend.
+      opt.positionals.push_back(arg);
+      if (opt.trace_path.empty()) { opt.trace_path = arg; }
     } else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg.c_str());
       return false;
@@ -168,7 +181,14 @@ void print_usage() {
       "analyze mode (--mode=analyze): offline work-span / advisor analysis\n"
       "  pstlb_cli --mode=analyze trace.json   (or --trace=PATH)\n"
       "  --json                 machine-readable verdict (advisor schema)\n"
-      "  exit 1 when the trace contains events the analyzer cannot parse");
+      "  exit 1 when the trace contains events the analyzer cannot parse\n"
+      "compare mode (--mode=compare): statistical regression detection\n"
+      "  pstlb_cli --mode=compare baseline.json candidate.json\n"
+      "  --threshold=PCT        noise threshold on median deltas (default 2)\n"
+      "  --json                 machine-readable report\n"
+      "  exit 1 when any result regressed, 2 on unreadable documents\n"
+      "trend mode (--mode=trend): multi-run change-point detection\n"
+      "  pstlb_cli --mode=trend DIR   (BENCH_*.json, sorted by name)");
 }
 
 void print_list() {
@@ -257,45 +277,51 @@ int run_sim(const options& opt) {
 }
 
 template <class Policy>
-double native_median_seconds(const options& opt, Policy policy) {
+double native_median_seconds(const options& opt, Policy policy,
+                             const char* backend_name = nullptr,
+                             unsigned threads = 0) {
   const auto n = static_cast<index_t>(opt.size);
-  std::vector<double> times;
   auto data = bench::generate_increment(policy, n);
   std::vector<elem_t> out(data.size());
   std::uint64_t seed = 1;
   const std::string kernel = opt.kernel;
-  for (int rep = 0; rep < std::max(1, opt.reps); ++rep) {
-    counters::region region("cli");
-    if (kernel == "for_each") {
-      const auto k_it = static_cast<std::size_t>(opt.k_it);
-      pstlb::for_each(policy, data.begin(), data.end(), [k_it](elem_t& x) {
-        volatile std::size_t iterations = k_it;
-        elem_t acc{};
-        for (std::size_t i = 0; i < iterations; ++i) { acc += 1; }
-        x = acc;
+  const bench::reps_result run = bench::run_reps(
+      "cli", std::max(1, opt.reps), [] {}, [&] {
+        if (kernel == "for_each") {
+          const auto k_it = static_cast<std::size_t>(opt.k_it);
+          pstlb::for_each(policy, data.begin(), data.end(), [k_it](elem_t& x) {
+            volatile std::size_t iterations = k_it;
+            elem_t acc{};
+            for (std::size_t i = 0; i < iterations; ++i) { acc += 1; }
+            x = acc;
+          });
+        } else if (kernel == "find") {
+          const elem_t target =
+              static_cast<elem_t>(bench::find_target(n, seed++) + 1);
+          auto it = pstlb::find(policy, data.begin(), data.end(), target);
+          if (it == data.end() && n > 0) { std::abort(); }
+        } else if (kernel == "reduce" || kernel == "count" ||
+                   kernel == "min_element") {
+          volatile elem_t sink = pstlb::reduce(policy, data.begin(), data.end());
+          (void)sink;
+        } else if (kernel == "inclusive_scan" || kernel == "exclusive_scan") {
+          pstlb::inclusive_scan(policy, data.begin(), data.end(), out.begin());
+        } else if (kernel == "sort") {
+          bench::shuffle_values(data.data(), n, seed++);
+          pstlb::sort(policy, data.begin(), data.end());
+        } else if (kernel == "copy" || kernel == "transform") {
+          pstlb::copy(policy, data.begin(), data.end(), out.begin());
+        } else {
+          std::fprintf(stderr, "native mode does not support kernel %s\n",
+                       kernel.c_str());
+          std::exit(2);
+        }
       });
-    } else if (kernel == "find") {
-      const elem_t target = static_cast<elem_t>(bench::find_target(n, seed++) + 1);
-      auto it = pstlb::find(policy, data.begin(), data.end(), target);
-      if (it == data.end() && n > 0) { std::abort(); }
-    } else if (kernel == "reduce" || kernel == "count" || kernel == "min_element") {
-      volatile elem_t sink = pstlb::reduce(policy, data.begin(), data.end());
-      (void)sink;
-    } else if (kernel == "inclusive_scan" || kernel == "exclusive_scan") {
-      pstlb::inclusive_scan(policy, data.begin(), data.end(), out.begin());
-    } else if (kernel == "sort") {
-      bench::shuffle_values(data.data(), n, seed++);
-      pstlb::sort(policy, data.begin(), data.end());
-    } else if (kernel == "copy" || kernel == "transform") {
-      pstlb::copy(policy, data.begin(), data.end(), out.begin());
-    } else {
-      std::fprintf(stderr, "native mode does not support kernel %s\n", kernel.c_str());
-      std::exit(2);
-    }
-    times.push_back(region.stop().seconds);
+  if (backend_name != nullptr) {
+    bench::record_native_result(kernel, backend_name, opt.size, threads,
+                                run.samples);
   }
-  std::sort(times.begin(), times.end());
-  return times[times.size() / 2];
+  return bench::regress::median(run.samples);
 }
 
 int run_native(const options& opt) {
@@ -316,7 +342,8 @@ int run_native(const options& opt) {
         if constexpr (exec::ParallelPolicy<decltype(policy)>) {
           policy.seq_threshold = 0;
         }
-        return native_median_seconds(opt, policy);
+        return native_median_seconds(
+            opt, policy, std::string(backends::name_of(id)).c_str(), threads);
       });
     } catch (const std::exception& e) {
       std::fprintf(stderr, "pstlb_cli: %s/%s failed: %s\n", opt.kernel.c_str(),
@@ -600,6 +627,86 @@ int run_analyze(const options& opt) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Bench-result comparison (--mode=compare) and trend (--mode=trend).
+// ---------------------------------------------------------------------------
+
+int run_compare(const options& opt) {
+  if (opt.positionals.size() != 2) {
+    std::fprintf(stderr,
+                 "pstlb_cli: --mode=compare needs exactly two documents: "
+                 "baseline.json candidate.json\n");
+    return 2;
+  }
+  bench::results::run_document baseline;
+  bench::results::run_document candidate;
+  try {
+    baseline = bench::results::load_file(opt.positionals[0]);
+    candidate = bench::results::load_file(opt.positionals[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pstlb_cli: %s\n", e.what());
+    return 2;
+  }
+  bench::regress::options ropt;
+  ropt.noise_threshold_pct = opt.threshold;
+  const bench::regress::report rep =
+      bench::regress::compare(baseline, candidate, ropt);
+  if (opt.json) {
+    bench::regress::write_json(rep, std::cout);
+  } else {
+    bench::regress::write_text(rep, std::cout);
+  }
+  return rep.overall == bench::regress::verdict::regressed ? 1 : 0;
+}
+
+int run_trend(const options& opt) {
+  if (opt.positionals.size() != 1) {
+    std::fprintf(stderr,
+                 "pstlb_cli: --mode=trend needs one directory of BENCH_*.json "
+                 "documents (chronological by file name)\n");
+    return 2;
+  }
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(opt.positionals[0], ec)) {
+    if (!entry.is_regular_file()) { continue; }
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 5 && name.compare(name.size() - 5, 5, ".json") == 0) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "pstlb_cli: cannot read directory %s: %s\n",
+                 opt.positionals[0].c_str(), ec.message().c_str());
+    return 2;
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    std::fprintf(stderr, "pstlb_cli: no .json documents in %s\n",
+                 opt.positionals[0].c_str());
+    return 2;
+  }
+  std::vector<bench::results::run_document> runs;
+  std::vector<std::string> labels;
+  for (const std::string& path : paths) {
+    try {
+      runs.push_back(bench::results::load_file(path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pstlb_cli: skipping %s: %s\n", path.c_str(),
+                   e.what());
+      continue;
+    }
+    labels.push_back(std::filesystem::path(path).filename().string());
+  }
+  if (runs.empty()) { return 2; }
+  bench::regress::options ropt;
+  ropt.noise_threshold_pct = opt.threshold;
+  const auto series = bench::regress::trend(runs, labels, ropt);
+  bench::regress::write_trend_text(series, std::cout);
+  return 0;
+}
+
 int run_demo() {
   print_usage();
   std::puts("\ndemo: native reduce, 2^18 doubles, all backends:");
@@ -617,6 +724,8 @@ int run_demo() {
 int main(int argc, char** argv) {
   pstlb::cli::options opt;
   if (!pstlb::cli::parse_args(argc, argv, opt)) { return 2; }
+  auto& store = pstlb::bench::results::result_store::instance();
+  store.set_suite_from_argv0(argv[0]);
   if (opt.mode == "help") {
     pstlb::cli::print_usage();
     return 0;
@@ -626,8 +735,14 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (opt.mode == "sim") { return pstlb::cli::run_sim(opt); }
-  if (opt.mode == "native") { return pstlb::cli::run_native(opt); }
+  if (opt.mode == "native") {
+    const int rc = pstlb::cli::run_native(opt);
+    store.flush_to_env();
+    return rc;
+  }
   if (opt.mode == "suite") { return pstlb::cli::run_suite(opt); }
   if (opt.mode == "analyze") { return pstlb::cli::run_analyze(opt); }
+  if (opt.mode == "compare") { return pstlb::cli::run_compare(opt); }
+  if (opt.mode == "trend") { return pstlb::cli::run_trend(opt); }
   return pstlb::cli::run_demo();
 }

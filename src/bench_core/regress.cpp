@@ -1,0 +1,452 @@
+#include "bench_core/regress.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "bench_core/report.hpp"
+#include "pstlb/json_min.hpp"
+
+namespace pstlb::bench::regress {
+
+namespace {
+
+/// splitmix64: deterministic, seedable, and fast enough to draw
+/// iters * n bootstrap indices without showing up in any profile.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double normal_two_sided_p(double z) {
+  return std::erfc(std::abs(z) / std::sqrt(2.0));
+}
+
+double median_sorted(const std::vector<double>& v) {
+  if (v.empty()) { return 0; }
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+int severity(verdict v) {
+  switch (v) {
+    case verdict::unchanged: return 0;
+    case verdict::improved: return 1;
+    case verdict::incomparable: return 2;
+    case verdict::regressed: return 3;
+  }
+  return 0;
+}
+
+std::string pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.2f%%", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string_view verdict_name(verdict v) noexcept {
+  switch (v) {
+    case verdict::unchanged: return "unchanged";
+    case verdict::improved: return "improved";
+    case verdict::regressed: return "regressed";
+    case verdict::incomparable: return "incomparable";
+  }
+  return "unchanged";
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return median_sorted(v);
+}
+
+interval bootstrap_median_ci(const std::vector<double>& samples,
+                             double confidence, unsigned iters,
+                             std::uint64_t seed) {
+  interval ci;
+  if (samples.empty()) { return ci; }
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double base = median_sorted(sorted);
+  ci.lo = ci.hi = base;
+  // Degenerate cases: one sample, or zero spread — the CI is the point.
+  if (sorted.size() < 2 || sorted.front() == sorted.back() || iters == 0) {
+    return ci;
+  }
+  const std::size_t n = sorted.size();
+  std::uint64_t state = seed;
+  std::vector<double> medians;
+  medians.reserve(iters);
+  std::vector<double> resample(n);
+  for (unsigned it = 0; it < iters; ++it) {
+    for (std::size_t i = 0; i < n; ++i) {
+      resample[i] = sorted[splitmix64(state) % n];
+    }
+    std::sort(resample.begin(), resample.end());
+    medians.push_back(median_sorted(resample));
+  }
+  std::sort(medians.begin(), medians.end());
+  const double tail = (1.0 - confidence) / 2.0;
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(medians.size() - 1);
+    return medians[static_cast<std::size_t>(std::llround(pos))];
+  };
+  ci.lo = at(tail);
+  ci.hi = at(1.0 - tail);
+  return ci;
+}
+
+double mann_whitney_p(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) { return 1.0; }
+  // Rank the pooled values; ties share the average rank.
+  struct tagged {
+    double v;
+    bool from_a;
+  };
+  std::vector<tagged> pool;
+  pool.reserve(n + m);
+  for (const double v : a) { pool.push_back({v, true}); }
+  for (const double v : b) { pool.push_back({v, false}); }
+  std::sort(pool.begin(), pool.end(),
+            [](const tagged& x, const tagged& y) { return x.v < y.v; });
+  const double big_n = static_cast<double>(n + m);
+  double rank_sum_a = 0;
+  double tie_term = 0;  // sum over tie groups of t^3 - t
+  std::size_t i = 0;
+  while (i < pool.size()) {
+    std::size_t j = i;
+    while (j < pool.size() && pool[j].v == pool[i].v) { ++j; }
+    const double t = static_cast<double>(j - i);
+    const double avg_rank = 0.5 * static_cast<double>(i + 1 + j);  // 1-based
+    for (std::size_t k = i; k < j; ++k) {
+      if (pool[k].from_a) { rank_sum_a += avg_rank; }
+    }
+    tie_term += t * t * t - t;
+    i = j;
+  }
+  const double u = rank_sum_a - static_cast<double>(n) * (static_cast<double>(n) + 1) / 2;
+  const double mean_u = static_cast<double>(n) * static_cast<double>(m) / 2;
+  const double var_u =
+      static_cast<double>(n) * static_cast<double>(m) / 12.0 *
+      ((big_n + 1) - tie_term / (big_n * (big_n - 1)));
+  if (var_u <= 0) { return 1.0; }  // every value ties
+  // Continuity correction: U is discrete.
+  double z = u - mean_u;
+  z -= z > 0 ? 0.5 : (z < 0 ? -0.5 : 0.0);
+  z /= std::sqrt(var_u);
+  return normal_two_sided_p(z);
+}
+
+namespace {
+
+/// One matched pair's verdict; both sides have samples (or at least a
+/// recorded median) and compatible envelopes.
+comparison compare_pair(const results::sample_result& base,
+                        const results::sample_result& cand,
+                        const options& opt) {
+  comparison c;
+  c.key = base.key();
+  c.baseline_median = base.samples.empty() ? base.median : median(base.samples);
+  c.candidate_median = cand.samples.empty() ? cand.median : median(cand.samples);
+  c.baseline_ci = base.samples.empty()
+                      ? interval{base.ci_lo, base.ci_hi}
+                      : bootstrap_median_ci(base.samples, opt.confidence,
+                                            opt.bootstrap_iters, opt.bootstrap_seed);
+  c.candidate_ci = cand.samples.empty()
+                       ? interval{cand.ci_lo, cand.ci_hi}
+                       : bootstrap_median_ci(cand.samples, opt.confidence,
+                                             opt.bootstrap_iters,
+                                             opt.bootstrap_seed + 1);
+  if (c.baseline_median == 0) {
+    c.v = verdict::incomparable;
+    c.note = "baseline median is zero";
+    return c;
+  }
+  c.delta_pct =
+      (c.candidate_median - c.baseline_median) / c.baseline_median * 100.0;
+  if (!base.samples.empty() && !cand.samples.empty()) {
+    c.p_value = mann_whitney_p(base.samples, cand.samples);
+  }
+  if (std::abs(c.delta_pct) <= opt.noise_threshold_pct) {
+    c.v = verdict::unchanged;
+    return c;
+  }
+  const bool ci_disjoint = c.baseline_ci.hi < c.candidate_ci.lo ||
+                           c.candidate_ci.hi < c.baseline_ci.lo;
+  const bool significant = c.p_value < opt.alpha || ci_disjoint;
+  if (!significant) {
+    c.v = verdict::unchanged;
+    c.note = "shift within statistical noise";
+    return c;
+  }
+  const bool worse = base.lower_is_better ? c.delta_pct > 0 : c.delta_pct < 0;
+  c.v = worse ? verdict::regressed : verdict::improved;
+  return c;
+}
+
+void note_mismatch(std::vector<std::string>& notes, const char* field,
+                   const std::string& base, const std::string& cand) {
+  if (base == cand) { return; }
+  notes.push_back(std::string(field) + " mismatch: baseline '" + base +
+                  "' vs candidate '" + cand + "'");
+}
+
+std::string knobs_to_string(
+    const std::vector<std::pair<std::string, std::string>>& knobs) {
+  std::string out;
+  for (const auto& [k, v] : knobs) {
+    if (!out.empty()) { out += ' '; }
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+}  // namespace
+
+report compare(const results::run_document& baseline,
+               const results::run_document& candidate, const options& opt) {
+  report rep;
+
+  // Envelope comparability: knob disagreement poisons everything; host /
+  // topology / provider disagreement poisons only native results.
+  std::vector<std::string> knob_notes;
+  note_mismatch(knob_notes, "knobs", knobs_to_string(baseline.envelope.knobs),
+                knobs_to_string(candidate.envelope.knobs));
+  std::vector<std::string> host_notes;
+  note_mismatch(host_notes, "hostname", baseline.envelope.hostname,
+                candidate.envelope.hostname);
+  note_mismatch(host_notes, "topology", baseline.envelope.topology,
+                candidate.envelope.topology);
+  note_mismatch(host_notes, "provider", baseline.envelope.provider,
+                candidate.envelope.provider);
+  rep.envelope_notes = knob_notes;
+  rep.envelope_notes.insert(rep.envelope_notes.end(), host_notes.begin(),
+                            host_notes.end());
+
+  std::map<std::string, const results::sample_result*> cand_by_key;
+  for (const results::sample_result& r : candidate.results) {
+    cand_by_key[r.key()] = &r;
+  }
+
+  for (const results::sample_result& base : baseline.results) {
+    const auto it = cand_by_key.find(base.key());
+    if (it == cand_by_key.end()) {
+      comparison c;
+      c.key = base.key();
+      c.v = verdict::incomparable;
+      c.note = "only in baseline";
+      c.baseline_median = base.median;
+      rep.rows.push_back(std::move(c));
+      continue;
+    }
+    const results::sample_result& cand = *it->second;
+    cand_by_key.erase(it);
+    const bool native = base.from == results::provenance::native ||
+                        cand.from == results::provenance::native;
+    if (!knob_notes.empty() || (native && !host_notes.empty())) {
+      comparison c;
+      c.key = base.key();
+      c.v = verdict::incomparable;
+      c.note = !knob_notes.empty() ? "envelope knobs differ"
+                                   : "native result, envelopes differ";
+      c.baseline_median = base.median;
+      c.candidate_median = cand.median;
+      rep.rows.push_back(std::move(c));
+      continue;
+    }
+    rep.rows.push_back(compare_pair(base, cand, opt));
+  }
+  for (const auto& [key, r] : cand_by_key) {
+    comparison c;
+    c.key = key;
+    c.v = verdict::incomparable;
+    c.note = "only in candidate";
+    c.candidate_median = r->median;
+    rep.rows.push_back(std::move(c));
+  }
+
+  for (const comparison& c : rep.rows) {
+    if (severity(c.v) > severity(rep.overall)) { rep.overall = c.v; }
+  }
+  return rep;
+}
+
+void write_text(const report& r, std::ostream& os) {
+  table t("benchmark comparison (baseline -> candidate)");
+  t.set_header({"result", "verdict", "baseline", "candidate", "delta", "p",
+                "note"});
+  for (const comparison& c : r.rows) {
+    t.add_row({c.key, std::string(verdict_name(c.v)), eng(c.baseline_median),
+               eng(c.candidate_median),
+               c.v == verdict::incomparable ? "-" : pct(c.delta_pct),
+               c.p_value < 1 ? fmt(c.p_value, 4) : "-", c.note});
+  }
+  t.print(os);
+  for (const std::string& note : r.envelope_notes) {
+    os << "envelope: " << note << "\n";
+  }
+  std::size_t counts[4] = {};
+  for (const comparison& c : r.rows) { ++counts[severity(c.v)]; }
+  os << "overall: " << verdict_name(r.overall) << " (" << counts[3]
+     << " regressed, " << counts[1] << " improved, " << counts[0]
+     << " unchanged, " << counts[2] << " incomparable)\n";
+  os.flush();
+}
+
+void write_json(const report& r, std::ostream& os) {
+  std::string out;
+  auto q = [&out](std::string_view s) { json_min::append_quoted(out, s); };
+  auto n = [&out](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+  };
+  out += "{\"overall\":";
+  q(verdict_name(r.overall));
+  out += ",\"envelope_notes\":[";
+  for (std::size_t i = 0; i < r.envelope_notes.size(); ++i) {
+    if (i != 0) { out += ','; }
+    q(r.envelope_notes[i]);
+  }
+  out += "],\"rows\":[";
+  for (std::size_t i = 0; i < r.rows.size(); ++i) {
+    const comparison& c = r.rows[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "{\"key\":";
+    q(c.key);
+    out += ",\"verdict\":";
+    q(verdict_name(c.v));
+    out += ",\"baseline_median\":";
+    n(c.baseline_median);
+    out += ",\"candidate_median\":";
+    n(c.candidate_median);
+    out += ",\"delta_pct\":";
+    n(c.delta_pct);
+    out += ",\"p_value\":";
+    n(c.p_value);
+    out += ",\"note\":";
+    q(c.note);
+    out += '}';
+  }
+  out += "\n]}\n";
+  os << out;
+  os.flush();
+}
+
+namespace {
+
+double mean(const std::vector<double>& v, std::size_t lo, std::size_t hi) {
+  double sum = 0;
+  for (std::size_t i = lo; i < hi; ++i) { sum += v[i]; }
+  return hi > lo ? sum / static_cast<double>(hi - lo) : 0;
+}
+
+double sse(const std::vector<double>& v, std::size_t lo, std::size_t hi) {
+  const double m = mean(v, lo, hi);
+  double out = 0;
+  for (std::size_t i = lo; i < hi; ++i) { out += (v[i] - m) * (v[i] - m); }
+  return out;
+}
+
+/// Recursive binary segmentation over [lo, hi): accept the best split when
+/// it removes at least half of the segment's squared error AND the two
+/// segment means are separated by more than the noise threshold.
+void segment(const std::vector<double>& v, std::size_t lo, std::size_t hi,
+             const options& opt, std::vector<change_point>& out) {
+  constexpr std::size_t min_len = 2;
+  if (hi - lo < 2 * min_len) { return; }
+  const double whole = sse(v, lo, hi);
+  if (whole <= 0) { return; }  // perfectly flat segment
+  std::size_t best_split = 0;
+  double best_sse = whole;
+  for (std::size_t s = lo + min_len; s + min_len <= hi; ++s) {
+    const double split_sse = sse(v, lo, s) + sse(v, s, hi);
+    if (split_sse < best_sse) {
+      best_sse = split_sse;
+      best_split = s;
+    }
+  }
+  if (best_split == 0 || best_sse > 0.5 * whole) { return; }
+  const double before = mean(v, lo, best_split);
+  const double after = mean(v, best_split, hi);
+  if (before == 0 ||
+      std::abs(after - before) / std::abs(before) * 100.0 <
+          opt.noise_threshold_pct) {
+    return;
+  }
+  change_point cp;
+  cp.index = best_split;
+  cp.before_mean = before;
+  cp.after_mean = after;
+  cp.delta_pct = (after - before) / before * 100.0;
+  out.push_back(cp);
+  segment(v, lo, best_split, opt, out);
+  segment(v, best_split, hi, opt, out);
+}
+
+}  // namespace
+
+std::vector<trend_series> trend(const std::vector<results::run_document>& runs,
+                                const std::vector<std::string>& labels,
+                                const options& opt) {
+  // Keyed series in first-seen order, so output follows the bench layout.
+  std::vector<trend_series> series;
+  std::map<std::string, std::size_t> index;
+  for (std::size_t run = 0; run < runs.size(); ++run) {
+    const std::string label =
+        run < labels.size() ? labels[run] : std::to_string(run);
+    for (const results::sample_result& r : runs[run].results) {
+      const std::string key = r.key();
+      auto [it, inserted] = index.try_emplace(key, series.size());
+      if (inserted) {
+        trend_series s;
+        s.key = key;
+        series.push_back(std::move(s));
+      }
+      trend_point p;
+      p.label = label;
+      p.median = r.samples.empty() ? r.median : median(r.samples);
+      series[it->second].points.push_back(std::move(p));
+    }
+  }
+  for (trend_series& s : series) {
+    std::vector<double> medians;
+    medians.reserve(s.points.size());
+    for (const trend_point& p : s.points) { medians.push_back(p.median); }
+    segment(medians, 0, medians.size(), opt, s.changes);
+    std::sort(s.changes.begin(), s.changes.end(),
+              [](const change_point& a, const change_point& b) {
+                return a.index < b.index;
+              });
+  }
+  return series;
+}
+
+void write_trend_text(const std::vector<trend_series>& series, std::ostream& os) {
+  std::size_t changed = 0;
+  for (const trend_series& s : series) {
+    if (s.changes.empty()) { continue; }
+    ++changed;
+    os << s.key << ":\n";
+    for (const change_point& cp : s.changes) {
+      os << "  change at " << s.points[cp.index].label << " (point "
+         << cp.index << "): mean " << eng(cp.before_mean) << " -> "
+         << eng(cp.after_mean) << " (" << pct(cp.delta_pct) << ")\n";
+    }
+  }
+  os << "trend: " << series.size() << " series, " << changed
+     << " with change points\n";
+  os.flush();
+}
+
+}  // namespace pstlb::bench::regress

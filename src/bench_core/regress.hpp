@@ -1,0 +1,129 @@
+// Statistical comparison engine over canonical benchmark results
+// (DESIGN.md §16).
+//
+// compare() matches results between a baseline and a candidate document by
+// key (suite/kernel/backend/machine/size/threads/k_it) and issues one of
+// four verdicts per pair:
+//
+//   unchanged    |median delta| below the noise threshold, or the shift is
+//                not statistically supported
+//   improved     significant shift in the better direction
+//   regressed    significant shift in the worse direction
+//   incomparable the run envelopes disagree (different knobs for any
+//                result; different host/topology/provider for native
+//                results), or the key exists on only one side
+//
+// "Significant" means the Mann–Whitney U test rejects at `alpha` OR the
+// bootstrap CIs of the two medians are disjoint — the latter makes
+// deterministic (zero-variance) sim results decidable at any sample count,
+// where rank statistics saturate at p = 2/C(n+m,n).
+//
+// trend() runs over a chronological sequence of documents and applies
+// recursive segmented-mean change-point detection per key: split where the
+// two-segment squared error beats the single-mean fit by `min_gain`, with
+// segment means at least the noise threshold apart.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_core/result_store.hpp"
+
+namespace pstlb::bench::regress {
+
+enum class verdict : std::uint8_t { unchanged, improved, regressed, incomparable };
+
+std::string_view verdict_name(verdict v) noexcept;
+
+struct options {
+  double noise_threshold_pct = 2.0;  // |median delta| below -> unchanged
+  double alpha = 0.05;               // Mann–Whitney significance level
+  double confidence = 0.95;          // bootstrap CI level
+  unsigned bootstrap_iters = 2000;
+  std::uint64_t bootstrap_seed = 0x9e3779b97f4a7c15ull;
+};
+
+// --- statistics building blocks (unit-tested directly) ---------------------
+
+/// Median of `v` (copies; empty -> 0). Even sizes average the middle pair.
+double median(std::vector<double> v);
+
+struct interval {
+  double lo = 0;
+  double hi = 0;
+};
+
+/// Percentile-bootstrap CI of the median: `iters` resamples with a
+/// deterministic seed. A single sample (or all-equal samples) yields the
+/// degenerate interval [x, x].
+interval bootstrap_median_ci(const std::vector<double>& samples,
+                             double confidence, unsigned iters,
+                             std::uint64_t seed);
+
+/// Two-sided Mann–Whitney U p-value (normal approximation with tie
+/// correction). Returns 1.0 when either side is empty or every value ties.
+double mann_whitney_p(const std::vector<double>& a, const std::vector<double>& b);
+
+// --- two-run comparison ----------------------------------------------------
+
+struct comparison {
+  std::string key;
+  verdict v = verdict::unchanged;
+  double baseline_median = 0;
+  double candidate_median = 0;
+  double delta_pct = 0;  // (candidate - baseline) / baseline * 100
+  double p_value = 1;    // Mann–Whitney, 1.0 when not computed
+  interval baseline_ci;
+  interval candidate_ci;
+  std::string note;  // envelope mismatch, one-sided key, ...
+};
+
+struct report {
+  verdict overall = verdict::unchanged;  // regressed > incomparable > improved > unchanged
+  std::vector<comparison> rows;
+  std::vector<std::string> envelope_notes;  // per-field mismatch descriptions
+};
+
+/// Compares every key present in either document. Envelope knob mismatch
+/// marks every row incomparable; host/topology/provider mismatch marks only
+/// native rows incomparable (sim results are host-independent).
+report compare(const results::run_document& baseline,
+               const results::run_document& candidate, const options& opt);
+
+/// Human-readable table + summary line.
+void write_text(const report& r, std::ostream& os);
+/// Machine-readable form of the same report.
+void write_json(const report& r, std::ostream& os);
+
+// --- multi-run trend -------------------------------------------------------
+
+struct trend_point {
+  std::string label;  // source file / run label, chronological
+  double median = 0;
+};
+
+struct change_point {
+  std::size_t index = 0;  // first point of the new regime
+  double before_mean = 0;
+  double after_mean = 0;
+  double delta_pct = 0;
+};
+
+struct trend_series {
+  std::string key;
+  std::vector<trend_point> points;
+  std::vector<change_point> changes;  // ascending by index
+};
+
+/// Per-key trend over `runs` (chronological; `labels` parallel to `runs`).
+/// Keys missing from some runs simply skip those points.
+std::vector<trend_series> trend(const std::vector<results::run_document>& runs,
+                                const std::vector<std::string>& labels,
+                                const options& opt);
+
+void write_trend_text(const std::vector<trend_series>& series, std::ostream& os);
+
+}  // namespace pstlb::bench::regress

@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_core/result_store.hpp"
 #include "counters/counters.hpp"
 #include "pstlb/common.hpp"
 
@@ -34,6 +38,61 @@ void wrapper(benchmark::State& state, const char* label, Policy&& policy,
   state.SetBytesProcessed(
       static_cast<std::int64_t>(state.iterations()) *
       static_cast<std::int64_t>(data.size() * sizeof(typename Container::value_type)));
+}
+
+/// One warmup-plus-reps measurement series (the loop every native bench used
+/// to hand-roll): `setup` runs before each rep outside the timed region,
+/// `body` is the timed call, and `on_best` fires right after a measured rep
+/// becomes the new best — the hook point for snapshotting side-band state
+/// (e.g. sort traffic stats) that belongs to the best rep.
+struct reps_result {
+  counters::counter_set best;    // counter sample of the fastest measured rep
+  std::vector<double> samples;   // measured rep seconds, chronological
+};
+
+template <class Setup, class Body, class OnBest>
+reps_result run_reps(const char* region_name, int reps, Setup&& setup,
+                     Body&& body, OnBest&& on_best) {
+  reps_result out;
+  for (int rep = 0; rep <= reps; ++rep) {  // rep 0 is warmup, never recorded
+    setup();
+    counters::region region(region_name);
+    body();
+    const counters::counter_set& sample = region.stop();
+    if (rep == 0) { continue; }
+    out.samples.push_back(sample.seconds);
+    if (out.best.seconds == 0 || sample.seconds < out.best.seconds) {
+      out.best = sample;
+      on_best();
+    }
+  }
+  return out;
+}
+
+template <class Setup, class Body>
+reps_result run_reps(const char* region_name, int reps, Setup&& setup, Body&& body) {
+  return run_reps(region_name, reps, std::forward<Setup>(setup),
+                  std::forward<Body>(body), [] {});
+}
+
+/// Records one native measurement series into the canonical result store
+/// (no-op when PSTLB_BENCH_JSON is unset). `machine` is "host" for real
+/// hardware runs.
+inline void record_native_result(std::string kernel, std::string backend,
+                                 double size, unsigned threads,
+                                 std::vector<double> samples,
+                                 std::string unit = "seconds") {
+  if (samples.empty() || !results::result_store::export_enabled()) { return; }
+  results::sample_result r;
+  r.kernel = std::move(kernel);
+  r.backend = std::move(backend);
+  r.machine = "host";
+  r.from = results::provenance::native;
+  r.size = size;
+  r.threads = threads;
+  r.unit = std::move(unit);
+  r.samples = std::move(samples);
+  results::result_store::instance().record(std::move(r));
 }
 
 }  // namespace pstlb::bench

@@ -34,6 +34,7 @@ std::string string_or(const char* name, std::string_view fallback) {
 const std::vector<std::string_view>& known_vars() {
   static const std::vector<std::string_view> vars = {
       "PSTLB_ANALYZE",            // run the scalability advisor at exit
+      "PSTLB_BENCH_JSON",         // canonical bench-result export: file or dir
       "PSTLB_COUNTERS",           // counter provider: sim | native | perf
       "PSTLB_COUNTER_SAMPLE_MS",  // perf counter-track sample period
       "PSTLB_CSV",                // benches also print CSV tables
@@ -50,6 +51,7 @@ const std::vector<std::string_view>& known_vars() {
       "PSTLB_SORT_BUCKET_CAP",    // samplesort: target max bucket elements
       "PSTLB_SORT_OVERSAMPLE",    // samplesort: splitter oversampling factor
       "PSTLB_STATS",              // per-call latency stats registry on/off
+      "PSTLB_STATS_BUDGET_NS",    // stats-overhead microbench ns/call budget
       "PSTLB_STATS_FILE",         // stats registry JSON export path
       "PSTLB_STEAL_LOCALITY",     // 0 disables locality-first steal ordering
       "PSTLB_TOPOLOGY",           // auto | flat | NxLxC[xS] synthetic spec

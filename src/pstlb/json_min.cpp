@@ -1,0 +1,255 @@
+#include "pstlb/json_min.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pstlb::json_min {
+
+namespace {
+
+class parser {
+ public:
+  explicit parser(std::string_view text) : text_(text) {}
+
+  value parse_document() {
+    value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) { fail("trailing characters after document"); }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) { fail("unexpected end of input"); }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) { fail(std::string("expected '") + c + "'"); }
+    ++pos_;
+  }
+
+  value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        value v;
+        v.t = value::type::string;
+        v.str = parse_string();
+        return v;
+      }
+      case 't': return parse_literal("true", [] {
+        value v;
+        v.t = value::type::boolean;
+        v.b = true;
+        return v;
+      }());
+      case 'f': return parse_literal("false", [] {
+        value v;
+        v.t = value::type::boolean;
+        v.b = false;
+        return v;
+      }());
+      case 'n': return parse_literal("null", value{});
+      default: return parse_number();
+    }
+  }
+
+  value parse_literal(std::string_view word, value v) {
+    if (text_.substr(pos_, word.size()) != word) { fail("bad literal"); }
+    pos_ += word.size();
+    return v;
+  }
+
+  value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') { ++pos_; }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) { fail("expected a value"); }
+    value v;
+    v.t = value::type::number;
+    try {
+      v.num = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) { fail("unterminated string"); }
+      const char c = text_[pos_++];
+      if (c == '"') { return out; }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) { fail("unterminated escape"); }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) { fail("truncated \\u escape"); }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape digit");
+            }
+          }
+          // Our exporters only emit \u00XX; decode BMP code points as UTF-8
+          // so round-trips preserve the bytes' meaning.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  value parse_array() {
+    expect('[');
+    value v;
+    v.t = value::type::array;
+    v.arr = std::make_unique<array>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr->push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  value parse_object() {
+    expect('{');
+    value v;
+    v.t = value::type::object;
+    v.obj = std::make_unique<object>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.obj->emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+value parse(std::string_view text) { return parser(text).parse_document(); }
+
+double number_or(const value* v, double fallback) {
+  return v != nullptr && v->t == value::type::number ? v->num : fallback;
+}
+
+std::string string_or(const value* v, std::string_view fallback) {
+  return v != nullptr && v->t == value::type::string ? v->str
+                                                     : std::string(fallback);
+}
+
+void append_quoted(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace pstlb::json_min

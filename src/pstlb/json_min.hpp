@@ -1,0 +1,53 @@
+// Minimal JSON value + recursive-descent parser, shared by the offline
+// trace reader (trace/analysis/trace_reader) and the benchmark result
+// pipeline (bench_core/result_store, bench_core/regress).
+//
+// Covers exactly the JSON grammar (objects, arrays, strings with escapes,
+// numbers, true/false/null) with no third-party dependency. Numbers are held
+// as double: timestamps are microseconds with a 3-digit fraction, so
+// nanosecond precision survives a double for any trace shorter than ~104
+// days, and every benchmark quantity we serialize fits a double exactly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pstlb::json_min {
+
+struct value {
+  enum class type { null, boolean, number, string, array, object };
+  type t = type::null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::unique_ptr<std::vector<value>> arr;
+  std::unique_ptr<std::vector<std::pair<std::string, value>>> obj;
+
+  const value* find(std::string_view key) const {
+    if (t != type::object) { return nullptr; }
+    for (const auto& [k, v] : *obj) {
+      if (k == key) { return &v; }
+    }
+    return nullptr;
+  }
+};
+
+using object = std::vector<std::pair<std::string, value>>;
+using array = std::vector<value>;
+
+/// Parses one complete JSON document. Throws std::runtime_error on malformed
+/// input (truncated file, syntax error, trailing characters); the message
+/// carries the byte offset of the failure.
+value parse(std::string_view text);
+
+/// Lookup conveniences used by every consumer.
+double number_or(const value* v, double fallback);
+std::string string_or(const value* v, std::string_view fallback);
+
+/// Writes `text` as a JSON string literal (quotes + escapes) to `out`.
+void append_quoted(std::string& out, std::string_view text);
+
+}  // namespace pstlb::json_min

@@ -1,5 +1,7 @@
 #include "trace/analysis/trace_reader.hpp"
 
+#include "pstlb/json_min.hpp"
+
 #include <cctype>
 #include <cmath>
 #include <fstream>
@@ -12,243 +14,10 @@ namespace pstlb::trace::analysis {
 
 namespace {
 
-// --- minimal JSON value + recursive-descent parser -------------------------
-//
-// Covers exactly the JSON grammar (objects, arrays, strings with escapes,
-// numbers, true/false/null). Numbers are held as double: timestamps are
-// microseconds with a 3-digit fraction, so nanosecond precision survives a
-// double for any trace shorter than ~104 days.
-
-struct json_value;
-using json_object = std::vector<std::pair<std::string, json_value>>;
-using json_array = std::vector<json_value>;
-
-struct json_value {
-  enum class type { null, boolean, number, string, array, object };
-  type t = type::null;
-  bool b = false;
-  double num = 0;
-  std::string str;
-  std::unique_ptr<json_array> arr;
-  std::unique_ptr<json_object> obj;
-
-  const json_value* find(std::string_view key) const {
-    if (t != type::object) { return nullptr; }
-    for (const auto& [k, v] : *obj) {
-      if (k == key) { return &v; }
-    }
-    return nullptr;
-  }
-};
-
-class json_parser {
- public:
-  explicit json_parser(std::string_view text) : text_(text) {}
-
-  json_value parse() {
-    json_value v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) { fail("trailing characters after document"); }
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("trace JSON parse error at byte " +
-                             std::to_string(pos_) + ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) { fail("unexpected end of input"); }
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) { fail(std::string("expected '") + c + "'"); }
-    ++pos_;
-  }
-
-  json_value parse_value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': {
-        json_value v;
-        v.t = json_value::type::string;
-        v.str = parse_string();
-        return v;
-      }
-      case 't': return parse_literal("true", [] {
-        json_value v;
-        v.t = json_value::type::boolean;
-        v.b = true;
-        return v;
-      }());
-      case 'f': return parse_literal("false", [] {
-        json_value v;
-        v.t = json_value::type::boolean;
-        v.b = false;
-        return v;
-      }());
-      case 'n': return parse_literal("null", json_value{});
-      default: return parse_number();
-    }
-  }
-
-  json_value parse_literal(std::string_view word, json_value v) {
-    if (text_.substr(pos_, word.size()) != word) { fail("bad literal"); }
-    pos_ += word.size();
-    return v;
-  }
-
-  json_value parse_number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') { ++pos_; }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) { fail("expected a value"); }
-    json_value v;
-    v.t = json_value::type::number;
-    try {
-      v.num = std::stod(std::string(text_.substr(start, pos_ - start)));
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
-    return v;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) { fail("unterminated string"); }
-      const char c = text_[pos_++];
-      if (c == '"') { return out; }
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) { fail("unterminated escape"); }
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) { fail("truncated \\u escape"); }
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              fail("bad \\u escape digit");
-            }
-          }
-          // Our exporter only emits \u00XX; decode BMP code points as UTF-8
-          // so round-trips preserve the bytes' meaning.
-          if (code < 0x80) {
-            out.push_back(static_cast<char>(code));
-          } else if (code < 0x800) {
-            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
-            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
-            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          }
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  json_value parse_array() {
-    expect('[');
-    json_value v;
-    v.t = json_value::type::array;
-    v.arr = std::make_unique<json_array>();
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.arr->push_back(parse_value());
-      skip_ws();
-      const char c = peek();
-      if (c == ',') {
-        ++pos_;
-        continue;
-      }
-      if (c == ']') {
-        ++pos_;
-        return v;
-      }
-      fail("expected ',' or ']'");
-    }
-  }
-
-  json_value parse_object() {
-    expect('{');
-    json_value v;
-    v.t = json_value::type::object;
-    v.obj = std::make_unique<json_object>();
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      v.obj->emplace_back(std::move(key), parse_value());
-      skip_ws();
-      const char c = peek();
-      if (c == ',') {
-        ++pos_;
-        continue;
-      }
-      if (c == '}') {
-        ++pos_;
-        return v;
-      }
-      fail("expected ',' or '}'");
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+// The generic JSON machinery lives in pstlb/json_min (shared with the
+// benchmark result pipeline); this file only keeps the mapping back to
+// trace::event records.
+using json_value = json_min::value;
 
 // --- mapping back to trace::event ------------------------------------------
 
@@ -279,9 +48,7 @@ std::uint64_t us_to_ns(double us) {
   return static_cast<std::uint64_t>(std::llround(us * 1000.0));
 }
 
-double number_or(const json_value* v, double fallback) {
-  return v != nullptr && v->t == json_value::type::number ? v->num : fallback;
-}
+// number_or comes from pstlb/json_min via ADL on json_value.
 
 /// Maps one traceEvents element into `out`; false = unrecognized shape.
 bool consume_element(const json_value& el, parsed_trace& out) {
@@ -348,8 +115,7 @@ bool consume_element(const json_value& el, parsed_trace& out) {
 }  // namespace
 
 parsed_trace parse_chrome_trace(std::string_view json) {
-  json_parser parser(json);
-  const json_value doc = parser.parse();
+  const json_value doc = json_min::parse(json);
   const json_value* events = doc.find("traceEvents");
   if (events == nullptr || events->t != json_value::type::array) {
     throw std::runtime_error("trace JSON has no traceEvents array");

@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include "bench_core/result_store.hpp"
 #include "pstlb/env.hpp"
 
 namespace pstlb::stats {
@@ -248,7 +249,12 @@ void reset() {
 }
 
 void write_json(std::ostream& os) {
-  os << "{\"ops\":[";
+  // Same provenance block as the canonical bench-result documents, so a
+  // stats dump can always be traced back to the run that produced it.
+  std::string envelope;
+  bench::results::append_envelope_json(bench::results::current_envelope("stats"),
+                                       envelope);
+  os << "{\"envelope\":" << envelope << ",\"ops\":[";
   bool first = true;
   for (const op_snapshot& s : snapshot()) {
     if (!first) { os << ','; }

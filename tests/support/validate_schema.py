@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Minimal draft-07 JSON-schema checker (stdlib only) for CI.
+
+Covers exactly the subset our schemas use: type (object/array/string/
+integer/number/boolean), required, properties, additionalProperties
+(false or a sub-schema), items, enum, pattern, minimum/maximum,
+minLength, minItems.
+
+Usage: validate_schema.py SCHEMA DOC [DOC...]
+"""
+import json
+import re
+import sys
+
+
+def check(value, sch, path):
+    t = sch.get('type')
+    if t == 'object':
+        assert isinstance(value, dict), f'{path}: expected object'
+        for k in sch.get('required', []):
+            assert k in value, f'{path}: missing required key {k!r}'
+        props = sch.get('properties', {})
+        extra_schema = sch.get('additionalProperties')
+        if extra_schema is False:
+            extra = set(value) - set(props)
+            assert not extra, f'{path}: unexpected keys {sorted(extra)}'
+        for k, v in value.items():
+            if k in props:
+                check(v, props[k], f'{path}.{k}')
+            elif isinstance(extra_schema, dict):
+                check(v, extra_schema, f'{path}.{k}')
+    elif t == 'array':
+        assert isinstance(value, list), f'{path}: expected array'
+        if 'minItems' in sch:
+            assert len(value) >= sch['minItems'], \
+                f'{path}: {len(value)} items < minItems {sch["minItems"]}'
+        for i, v in enumerate(value):
+            check(v, sch['items'], f'{path}[{i}]')
+    elif t == 'string':
+        assert isinstance(value, str), f'{path}: expected string'
+        if 'minLength' in sch:
+            assert len(value) >= sch['minLength'], f'{path}: too short'
+        if 'pattern' in sch:
+            assert re.match(sch['pattern'], value), f'{path}: {value!r}'
+    elif t == 'integer':
+        assert isinstance(value, int) and not isinstance(value, bool), \
+            f'{path}: expected integer'
+    elif t == 'number':
+        assert isinstance(value, (int, float)) and not isinstance(value, bool), \
+            f'{path}: expected number'
+    elif t == 'boolean':
+        assert isinstance(value, bool), f'{path}: expected boolean'
+    if 'enum' in sch:
+        assert value in sch['enum'], f'{path}: {value!r} not in {sch["enum"]}'
+    if 'minimum' in sch and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        assert value >= sch['minimum'], f'{path}: {value} < minimum'
+    if 'maximum' in sch and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        assert value <= sch['maximum'], f'{path}: {value} > maximum'
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        schema = json.load(f)
+    for doc_path in argv[2:]:
+        with open(doc_path) as f:
+            doc = json.load(f)
+        check(doc, schema, '$')
+        print(f'{doc_path}: valid against {argv[1]}')
+    return 0
+
+
+if __name__ == '__main__':
+    sys.exit(main(sys.argv))

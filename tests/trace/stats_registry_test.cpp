@@ -128,7 +128,9 @@ TEST_F(StatsTest, JsonShape) {
   std::ostringstream os;
   write_json(os);
   const std::string json = os.str();
-  EXPECT_EQ(json.rfind("{\"ops\":[", 0), 0u);
+  EXPECT_EQ(json.rfind("{\"envelope\":{", 0), 0u);
+  EXPECT_NE(json.find("\"ops\":["), std::string::npos);
+  EXPECT_NE(json.find("\"knobs\":{"), std::string::npos);
   EXPECT_NE(json.find("\"op\":\"reduce\""), std::string::npos);
   EXPECT_NE(json.find("\"calls\":1"), std::string::npos);
   for (const char* key : {"\"total_ns\":", "\"max_ns\":", "\"p50_ns\":",
