@@ -1,0 +1,63 @@
+// Nested-call backend: parallelism-as-tasks inside an arena.
+//
+// A parallel algorithm invoked from inside another parallel region must not
+// launch a second pool region (the pools are non-reentrant and the extra
+// region would oversubscribe the arena's grant). Pre-arena, such calls simply
+// serialized. This backend implements the oneDPL "don't create a nested
+// parallel region: just create tasks" idiom instead: the chunks of the nested
+// loop are published into the caller's arena (arena::run_nested), the calling
+// thread drains them, and idle workers of the pool executing the outer region
+// join in through arena::try_help_nested(). Exception semantics match every
+// other backend: first throwing chunk wins, the rest drain, the caller
+// rethrows.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+
+#include "backends/backend.hpp"
+#include "backends/nesting.hpp"
+#include "sched/arena.hpp"
+#include "sched/cancel.hpp"
+
+namespace pstlb::backends {
+
+class arena_nested_backend {
+ public:
+  explicit arena_nested_backend(sched::arena* a) noexcept : arena_(a) {}
+
+  unsigned threads() const noexcept {
+    return std::min(std::max(arena_->cap(), 2u), 64u);
+  }
+  /// Helpers claim participant slots 1..63 from the run's slot mask, so
+  /// accumulator slots must cover the whole mask regardless of how many
+  /// helpers actually show up.
+  unsigned slots() const noexcept { return 64; }
+
+  template <class F>
+  void for_blocks(index_t n, index_t grain, std::atomic<index_t>* cancel,
+                  F&& body) const {
+    if (n <= 0) { return; }
+    if (n <= grain) {
+      sequential_blocks(n, grain, cancel, std::forward<F>(body));
+      return;
+    }
+    auto guarded = [&body](index_t begin, index_t end, unsigned tid) {
+      region_guard guard;
+      body(begin, end, tid);
+    };
+    sched::cancel_source errors;
+    auto ctx = make_loop_context(n, grain, cancel, guarded);
+    ctx.errors = &errors;
+    ctx.name = "arena_nested";
+    arena_->run_nested(ctx);
+    errors.rethrow();
+  }
+
+ private:
+  sched::arena* arena_;
+};
+
+static_assert(Backend<arena_nested_backend>);
+
+}  // namespace pstlb::backends

@@ -9,10 +9,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <new>
+#include <system_error>
 
 #include "backends/backend.hpp"
 #include "backends/nesting.hpp"
 #include "pstlb/fault.hpp"
+#include "sched/arena.hpp"
 #include "sched/cancel.hpp"
 #include "sched/thread_pool.hpp"
 #include "sched/watchdog.hpp"
@@ -41,41 +44,57 @@ class fork_join_backend {
     // the barrier (TBB task_group_context semantics, unlike the
     // terminate-on-throw contract of std::execution::par).
     sched::cancel_source errors;
-    sched::thread_pool::global().run(
-        threads_,
-        [&](unsigned tid, unsigned nthreads) noexcept {
-          region_guard guard;
-          sched::cancel_binding bind(&errors);
-          const index_t slice = ceil_div(n, static_cast<index_t>(nthreads));
-          const index_t begin = std::min<index_t>(slice * tid, n);
-          const index_t end = std::min<index_t>(begin + slice, n);
-          const index_t step = grain > 0 ? grain : 1;
-          for (index_t b = begin; b < end; b += step) {
-            if (errors.cancelled()) { return; }
-            if (cancel != nullptr &&
-                b >= cancel->load(std::memory_order_relaxed)) {
-              return;
-            }
-            const index_t be = std::min<index_t>(b + step, end);
-            const std::uint64_t t0 = trace::span_begin();
-            sched::watchdog::chunk_mark mark("fork_join", tid, b, be);
-            try {
-              if (fault::armed()) { fault::on_chunk(b); }
-              if (errors.cancelled()) { return; }  // stall may outlive cancel
-              body(b, be, tid);
-            } catch (...) {
-              errors.capture_current();
-              return;
-            }
-            errors.beat();
-            trace::record_span(trace::pool_id::fork_join,
-                               trace::event_kind::chunk, t0,
-                               static_cast<std::uint64_t>(be - b),
-                               trace::link_task(static_cast<std::uint64_t>(
-                                   b / step)));
-          }
-        },
-        &errors);
+    sched::arena* const call_arena = sched::arena::current();
+    const auto region = [&](unsigned tid, unsigned nthreads) noexcept {
+      region_guard guard;
+      // Propagate the caller's arena binding so nested calls inside blocks
+      // route into it.
+      sched::arena::scoped_bind abind(call_arena);
+      sched::cancel_binding bind(&errors);
+      const index_t slice = ceil_div(n, static_cast<index_t>(nthreads));
+      const index_t begin = std::min<index_t>(slice * tid, n);
+      const index_t end = std::min<index_t>(begin + slice, n);
+      const index_t step = grain > 0 ? grain : 1;
+      for (index_t b = begin; b < end; b += step) {
+        if (errors.cancelled()) { return; }
+        if (cancel != nullptr &&
+            b >= cancel->load(std::memory_order_relaxed)) {
+          return;
+        }
+        const index_t be = std::min<index_t>(b + step, end);
+        const std::uint64_t t0 = trace::span_begin();
+        sched::watchdog::chunk_mark mark("fork_join", tid, b, be);
+        try {
+          if (fault::armed()) { fault::on_chunk(b); }
+          if (errors.cancelled()) { return; }  // stall may outlive cancel
+          body(b, be, tid);
+        } catch (...) {
+          errors.capture_current();
+          return;
+        }
+        errors.beat();
+        trace::record_span(trace::pool_id::fork_join,
+                           trace::event_kind::chunk, t0,
+                           static_cast<std::uint64_t>(be - b),
+                           trace::link_task(static_cast<std::uint64_t>(
+                               b / step)));
+      }
+    };
+    try {
+      sched::thread_pool::global().run(threads_, region, &errors);
+    } catch (const std::system_error&) {
+      // Worker-spawn failure before any block ran (the region lambda is
+      // noexcept, so nothing else escapes run()): degrade to sequential.
+      if (errors.has_error() || errors.cancelled()) { throw; }
+      sched::note_degradation(sched::shed_reason::spawnfail);
+      sequential_blocks(n, grain, cancel, std::forward<F>(body));
+      return;
+    } catch (const std::bad_alloc&) {
+      if (errors.has_error() || errors.cancelled()) { throw; }
+      sched::note_degradation(sched::shed_reason::oom);
+      sequential_blocks(n, grain, cancel, std::forward<F>(body));
+      return;
+    }
     errors.rethrow();
   }
 

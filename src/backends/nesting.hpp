@@ -24,4 +24,8 @@ class region_guard {
 
 inline bool in_parallel_region() noexcept { return detail::region_depth > 0; }
 
+/// Current nesting depth (0 outside any region). The arena layer converts a
+/// depth-1 nested call into arena tasks; deeper nesting runs sequentially.
+inline int region_depth() noexcept { return detail::region_depth; }
+
 }  // namespace pstlb::backends

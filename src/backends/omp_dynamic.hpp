@@ -10,10 +10,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <new>
+#include <system_error>
 
 #include "backends/backend.hpp"
 #include "backends/nesting.hpp"
 #include "pstlb/fault.hpp"
+#include "sched/arena.hpp"
 #include "sched/cancel.hpp"
 #include "sched/thread_pool.hpp"
 #include "sched/watchdog.hpp"
@@ -42,39 +45,53 @@ class omp_dynamic_backend {
     // Fault channel: see fork_join.hpp — first block to throw wins, the rest
     // drain, the caller rethrows after the barrier.
     sched::cancel_source errors;
-    sched::thread_pool::global().run(
-        threads_,
-        [&](unsigned tid, unsigned) noexcept {
-          region_guard guard;
-          sched::cancel_binding bind(&errors);
-          for (;;) {
-            if (errors.cancelled()) { return; }
-            const index_t c = cursor.fetch_add(1, std::memory_order_relaxed);
-            if (c >= chunks) { return; }
-            const index_t begin = c * step;
-            if (cancel != nullptr &&
-                begin >= cancel->load(std::memory_order_relaxed)) {
-              continue;  // skip cancelled chunks but keep draining the cursor
-            }
-            const index_t end = std::min<index_t>(begin + step, n);
-            const std::uint64_t t0 = trace::span_begin();
-            sched::watchdog::chunk_mark mark("omp_dynamic", tid, begin, end);
-            try {
-              if (fault::armed()) { fault::on_chunk(begin); }
-              if (errors.cancelled()) { return; }  // stall may outlive cancel
-              body(begin, end, tid);
-            } catch (...) {
-              errors.capture_current();
-              return;
-            }
-            errors.beat();
-            trace::record_span(trace::pool_id::fork_join,
-                               trace::event_kind::chunk, t0,
-                               static_cast<std::uint64_t>(end - begin),
-                               trace::link_task(static_cast<std::uint64_t>(c)));
-          }
-        },
-        &errors);
+    sched::arena* const call_arena = sched::arena::current();
+    const auto region = [&](unsigned tid, unsigned) noexcept {
+      region_guard guard;
+      sched::arena::scoped_bind abind(call_arena);
+      sched::cancel_binding bind(&errors);
+      for (;;) {
+        if (errors.cancelled()) { return; }
+        const index_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunks) { return; }
+        const index_t begin = c * step;
+        if (cancel != nullptr &&
+            begin >= cancel->load(std::memory_order_relaxed)) {
+          continue;  // skip cancelled chunks but keep draining the cursor
+        }
+        const index_t end = std::min<index_t>(begin + step, n);
+        const std::uint64_t t0 = trace::span_begin();
+        sched::watchdog::chunk_mark mark("omp_dynamic", tid, begin, end);
+        try {
+          if (fault::armed()) { fault::on_chunk(begin); }
+          if (errors.cancelled()) { return; }  // stall may outlive cancel
+          body(begin, end, tid);
+        } catch (...) {
+          errors.capture_current();
+          return;
+        }
+        errors.beat();
+        trace::record_span(trace::pool_id::fork_join,
+                           trace::event_kind::chunk, t0,
+                           static_cast<std::uint64_t>(end - begin),
+                           trace::link_task(static_cast<std::uint64_t>(c)));
+      }
+    };
+    try {
+      sched::thread_pool::global().run(threads_, region, &errors);
+    } catch (const std::system_error&) {
+      // Spawn failure before any block ran (the region lambda is noexcept):
+      // degrade to sequential.
+      if (errors.has_error() || errors.cancelled()) { throw; }
+      sched::note_degradation(sched::shed_reason::spawnfail);
+      sequential_blocks(n, grain, cancel, std::forward<F>(body));
+      return;
+    } catch (const std::bad_alloc&) {
+      if (errors.has_error() || errors.cancelled()) { throw; }
+      sched::note_degradation(sched::shed_reason::oom);
+      sequential_blocks(n, grain, cancel, std::forward<F>(body));
+      return;
+    }
     errors.rethrow();
   }
 

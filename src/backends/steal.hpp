@@ -2,9 +2,14 @@
 #pragma once
 
 #include <atomic>
+#include <new>
+#include <system_error>
+#include <utility>
 
 #include "backends/backend.hpp"
 #include "backends/nesting.hpp"
+#include "sched/arena.hpp"
+#include "sched/cancel.hpp"
 #include "sched/steal_pool.hpp"
 
 namespace pstlb::backends {
@@ -24,12 +29,33 @@ class steal_backend {
       sequential_blocks(n, grain, cancel, std::forward<F>(body));
       return;
     }
-    auto guarded = [&body](index_t begin, index_t end, unsigned tid) {
+    // Propagate the caller's arena binding to the workers so nested calls
+    // inside chunks route into it.
+    sched::arena* const call_arena = sched::arena::current();
+    auto guarded = [&body, call_arena](index_t begin, index_t end, unsigned tid) {
       region_guard guard;
+      sched::arena::scoped_bind abind(call_arena);
       body(begin, end, tid);
     };
-    const auto ctx = make_loop_context(n, grain, cancel, guarded);
-    sched::steal_pool::global().run(threads_, ctx);
+    // Installing the region's fault channel here (instead of letting the
+    // pool create one) lets the catch below distinguish setup failures from
+    // user exceptions: a user exception arrives via errors->rethrow() with
+    // has_error() set, while a spawn/allocation failure before any chunk ran
+    // leaves the source untouched — only the latter may re-run sequentially.
+    sched::cancel_source errors;
+    auto ctx = make_loop_context(n, grain, cancel, guarded);
+    ctx.errors = &errors;
+    try {
+      sched::steal_pool::global().run(threads_, ctx);
+    } catch (const std::system_error&) {
+      if (errors.has_error() || errors.cancelled()) { throw; }
+      sched::note_degradation(sched::shed_reason::spawnfail);
+      sequential_blocks(n, grain, cancel, std::forward<F>(body));
+    } catch (const std::bad_alloc&) {
+      if (errors.has_error() || errors.cancelled()) { throw; }
+      sched::note_degradation(sched::shed_reason::oom);
+      sequential_blocks(n, grain, cancel, std::forward<F>(body));
+    }
   }
 
  private:

@@ -2,9 +2,14 @@
 #pragma once
 
 #include <atomic>
+#include <new>
+#include <system_error>
+#include <utility>
 
 #include "backends/backend.hpp"
 #include "backends/nesting.hpp"
+#include "sched/arena.hpp"
+#include "sched/cancel.hpp"
 #include "sched/task_queue_pool.hpp"
 
 namespace pstlb::backends {
@@ -31,12 +36,29 @@ class task_futures_backend {
       sequential_blocks(n, grain, cancel, std::forward<F>(body));
       return;
     }
-    auto guarded = [&body](index_t begin, index_t end, unsigned tid) {
+    sched::arena* const call_arena = sched::arena::current();
+    auto guarded = [&body, call_arena](index_t begin, index_t end, unsigned tid) {
       region_guard guard;
+      sched::arena::scoped_bind abind(call_arena);
       body(begin, end, tid);
     };
-    const auto ctx = make_loop_context(n, grain, cancel, guarded);
-    sched::task_queue_pool::global().run(threads_, ctx);
+    // Own fault channel so the catch below can tell setup failures from user
+    // exceptions (see steal.hpp). A task-submit failure mid-loop cancels the
+    // source after chunks may have run — cancelled() blocks the re-run.
+    sched::cancel_source errors;
+    auto ctx = make_loop_context(n, grain, cancel, guarded);
+    ctx.errors = &errors;
+    try {
+      sched::task_queue_pool::global().run(threads_, ctx);
+    } catch (const std::system_error&) {
+      if (errors.has_error() || errors.cancelled()) { throw; }
+      sched::note_degradation(sched::shed_reason::spawnfail);
+      sequential_blocks(n, grain, cancel, std::forward<F>(body));
+    } catch (const std::bad_alloc&) {
+      if (errors.has_error() || errors.cancelled()) { throw; }
+      sched::note_degradation(sched::shed_reason::oom);
+      sequential_blocks(n, grain, cancel, std::forward<F>(body));
+    }
   }
 
  private:

@@ -30,11 +30,13 @@
 
 #include "backends/skeletons.hpp"
 #include "pstlb/detail/merge.hpp"
+#include "pstlb/fault.hpp"
 #include "pstlb/detail/multiway.hpp"
 #include "pstlb/detail/samplesort.hpp"
 #include "pstlb/detail/sort_stats.hpp"
 #include "pstlb/env.hpp"
 #include "pstlb/exec.hpp"
+#include "sched/arena.hpp"
 #include "trace/stats_registry.hpp"
 
 namespace pstlb {
@@ -113,7 +115,27 @@ void parallel_mergesort(const B& be, It first, index_t n, Compare comp,
     return;
   }
 
-  std::vector<T> buffer(static_cast<std::size_t>(n));
+  // The merge rounds need an out-of-place scratch buffer of n elements. If
+  // memory is too tight for it, degrade to a whole-array sequential sort:
+  // safe here because the phase-1 run sorts are in-place and already
+  // complete, so the input holds all elements (partially ordered, which the
+  // std sort tolerates).
+  std::vector<T> buffer;
+  try {
+    if (fault::armed()) {
+      fault::on_alloc(static_cast<std::size_t>(n) * sizeof(T));
+    }
+    buffer.resize(static_cast<std::size_t>(n));
+  } catch (const std::bad_alloc&) {
+    sched::note_degradation(sched::shed_reason::oom);
+    if constexpr (Stable) {
+      std::stable_sort(first, first + n, comp);
+    } else {
+      std::sort(first, first + n, comp);
+    }
+    commit_sort_traffic(stats);
+    return;
+  }
 
   // The R-way merge samples splitters by copy (like samplesort), so it is
   // compiled out for move-only types, which take the pairwise rounds below.
@@ -223,8 +245,12 @@ void parallel_sort_dispatch(const B& be, const P& policy, It first, index_t n,
                 std::is_default_constructible_v<T> &&
                 std::is_move_assignable_v<T>) {
     if (use_samplesort(policy, n)) {
-      parallel_samplesort<Stable>(be, policy, first, n, comp);
-      return;
+      // A false return means the scatter buffer could not be allocated;
+      // fall through to mergesort, whose own buffer failure leg degrades
+      // to a sequential whole-array sort.
+      if (parallel_samplesort<Stable>(be, policy, first, n, comp)) {
+        return;
+      }
     }
   }
   parallel_mergesort<B, It, Compare, Stable>(be, first, n, comp,

@@ -66,6 +66,7 @@
 #include "numa/first_touch_allocator.hpp"
 #include "pstlb/detail/sort_stats.hpp"
 #include "pstlb/env.hpp"
+#include "sched/arena.hpp"
 #include "sched/locality.hpp"
 #include "trace/trace.hpp"
 
@@ -420,16 +421,29 @@ void samplesort_segment(const B& be, SrcIt src, TmpIt tmp, index_t n,
 /// across the NUMA nodes of the threads that will sort them (paper
 /// Listing 5 discipline), runs the pipeline, and publishes the traffic
 /// snapshot + region counters.
+///
+/// Returns false when the scatter buffer cannot be allocated — the one big
+/// contiguous bite of memory this sort takes, and the only allocation before
+/// any element moves, so the input is still intact and the caller falls back
+/// to the merge pipeline (or all the way to a sequential sort) instead of
+/// letting std::bad_alloc escape from pstlb::sort.
 template <bool Stable, backends::Backend B, class Policy, class It,
           class Compare>
-void parallel_samplesort(const B& be, const Policy& policy, It first,
+bool parallel_samplesort(const B& be, const Policy& policy, It first,
                          index_t n, Compare comp) {
   using T = typename std::iterator_traits<It>::value_type;
   const samplesort_params params = samplesort_params::from_env();
-  auto& stats = begin_sort_traffic("sample", n, sizeof(T));
   using alloc_t = numa::first_touch_allocator<T, std::decay_t<Policy>>;
-  std::vector<T, alloc_t> buffer(static_cast<std::size_t>(n),
-                                 alloc_t{policy});
+  // optional-wrapped so the fallback needs no allocator move-assignment;
+  // the oom:p fault hook fires inside the allocator's tracked allocation.
+  std::optional<std::vector<T, alloc_t>> buffer;
+  try {
+    buffer.emplace(static_cast<std::size_t>(n), alloc_t{policy});
+  } catch (const std::bad_alloc&) {
+    sched::note_degradation(sched::shed_reason::oom);
+    return false;
+  }
+  auto& stats = begin_sort_traffic("sample", n, sizeof(T));
   // On multi-node topologies relabel the scatter buffer node_affine_touch:
   // placement still comes from the allocator's worker-sliced parallel first
   // touch, but the bucket phase will schedule against that layout (see
@@ -437,16 +451,17 @@ void parallel_samplesort(const B& be, const Policy& policy, It first,
   if (n > 0 && sched::steal_locality_enabled() && numa_scatter_enabled() &&
       !numa::tree().flat()) {
     auto& registry = numa::page_registry::instance();
-    if (auto info = registry.lookup(buffer.data());
+    if (auto info = registry.lookup(buffer->data());
         info.has_value() &&
         info->touched == numa::placement::parallel_touch) {
       info->touched = numa::placement::node_affine_touch;
-      registry.record(buffer.data(), *info);
+      registry.record(buffer->data(), *info);
     }
   }
-  samplesort_segment<Stable>(be, first, buffer.begin(), n, comp, params, 0,
+  samplesort_segment<Stable>(be, first, buffer->begin(), n, comp, params, 0,
                              &stats);
   commit_sort_traffic(stats);
+  return true;
 }
 
 }  // namespace pstlb::detail

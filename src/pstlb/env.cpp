@@ -34,11 +34,15 @@ std::string string_or(const char* name, std::string_view fallback) {
 const std::vector<std::string_view>& known_vars() {
   static const std::vector<std::string_view> vars = {
       "PSTLB_ANALYZE",            // run the scalability advisor at exit
+      "PSTLB_ARENA",              // 0 disables arena admission control
+      "PSTLB_ARENA_CAP",          // default arena max concurrent workers
+      "PSTLB_ARENA_DEADLINE_MS",  // admission wait deadline (0 = wait forever)
+      "PSTLB_ARENA_MAX_PENDING",  // admission queue bound before shedding
       "PSTLB_BENCH_JSON",         // canonical bench-result export: file or dir
       "PSTLB_COUNTERS",           // counter provider: sim | native | perf
       "PSTLB_COUNTER_SAMPLE_MS",  // perf counter-track sample period
       "PSTLB_CSV",                // benches also print CSV tables
-      "PSTLB_FAULT",              // fault injection: throw:<p>|oom:<p>|stall:<ms>|spawnfail
+      "PSTLB_FAULT",              // fault injection: throw:<p>|oom:<p>|stall:<ms>|spawnfail[:<n>]
       "PSTLB_FAULT_SEED",         // fault injection: deterministic draw seed
       "PSTLB_FIG5_NATIVE_LOG2",   // fig5 native sweep: max log2 size
       "PSTLB_FIG5_NATIVE_REPS",   // fig5 native sweep: repetitions

@@ -18,9 +18,13 @@
 #include <algorithm>
 #include <iterator>
 #include <memory>
+#include <new>
+#include <optional>
+#include <system_error>
 #include <thread>
 #include <type_traits>
 
+#include "backends/arena_nested.hpp"
 #include "backends/backend.hpp"
 #include "backends/fork_join.hpp"
 #include "backends/nesting.hpp"
@@ -29,6 +33,7 @@
 #include "backends/steal.hpp"
 #include "backends/task_futures.hpp"
 #include "pstlb/common.hpp"
+#include "sched/arena.hpp"
 #include "sched/locality.hpp"
 
 namespace pstlb::exec {
@@ -222,7 +227,12 @@ sched::scoped_data_hint data_hint(It first, index_t stride_elems = 1) {
 /// Central dispatch: runs `par_fn(backend, grain)` when the policy, input
 /// size and nesting situation allow parallel execution, otherwise `seq_fn()`.
 /// Every algorithm front-end funnels through here so fallback rules live in
-/// exactly one place.
+/// exactly one place — which makes it the single choke point for arena
+/// admission (DESIGN.md §17): every parallel call asks its arena for
+/// concurrency tokens first, runs at the granted width, and sheds to
+/// `seq_fn()` when admission says no or backend setup (worker spawn, scratch
+/// allocation) fails. Nested calls route to the arena task backend instead of
+/// serializing outright.
 ///
 /// Iterator requirement: the parallel front-ends index iterators
 /// (`first + i`), so every iterator passed with a parallel policy must be
@@ -241,14 +251,54 @@ decltype(auto) dispatch(const PolicyRef& policy, index_t n, SeqFn&& seq_fn,
     (void)par_fn;
     return seq_fn();
   } else {
-    if (n < policy.seq_threshold || policy.threads <= 1 || n <= 1 ||
-        backends::in_parallel_region()) {
+    if (n < policy.seq_threshold || policy.threads <= 1 || n <= 1) {
       return seq_fn();
     }
-    auto backend = policy_traits<Policy>::make(policy);
-    const index_t grain =
-        policy.grain > 0 ? policy.grain : backends::default_grain(n, policy.threads);
-    return par_fn(backend, grain);
+    if (backends::in_parallel_region()) {
+      // Inside another region the pools are off-limits (non-reentrant). A
+      // first-level nested call inside an arena becomes arena tasks that the
+      // enclosing region's idle workers help drain; anything deeper — or any
+      // nested call outside an arena — serializes as before.
+      sched::arena* a = sched::arena::current();
+      if (a != nullptr && a->cap() > 1 && backends::region_depth() <= 1) {
+        const backends::arena_nested_backend nested(a);
+        const index_t grain = policy.grain > 0
+                                  ? policy.grain
+                                  : backends::default_grain(n, nested.threads());
+        return par_fn(nested, grain);
+      }
+      return seq_fn();
+    }
+    sched::arena* a = sched::arena::admission_target();
+    if (a == nullptr) {  // PSTLB_ARENA=0: legacy ungated dispatch
+      auto backend = policy_traits<Policy>::make(policy);
+      const index_t grain = policy.grain > 0
+                                ? policy.grain
+                                : backends::default_grain(n, policy.threads);
+      return par_fn(backend, grain);
+    }
+    const sched::arena::ticket ticket = a->admit(policy.threads);
+    if (!ticket.parallel()) { return seq_fn(); }
+    sched::arena::scoped_bind bind(a);
+    Policy capped = policy;
+    capped.threads = ticket.granted();
+    // Backend construction can spawn pool workers (task_futures ensures its
+    // queue workers in the constructor). A spawn or allocation failure here
+    // degrades to the sequential path — graceful degradation, not an error.
+    std::optional<typename policy_traits<Policy>::backend_type> backend;
+    try {
+      backend.emplace(policy_traits<Policy>::make(capped));
+    } catch (const std::system_error&) {
+      sched::note_degradation(sched::shed_reason::spawnfail);
+      return seq_fn();
+    } catch (const std::bad_alloc&) {
+      sched::note_degradation(sched::shed_reason::oom);
+      return seq_fn();
+    }
+    const index_t grain = capped.grain > 0
+                              ? capped.grain
+                              : backends::default_grain(n, capped.threads);
+    return par_fn(*backend, grain);
   }
 }
 

@@ -25,6 +25,7 @@ namespace {
 spec g_spec;
 std::once_flag g_env_once;
 std::atomic<std::uint64_t> g_alloc_site{0};
+std::atomic<std::uint64_t> g_spawn_site{0};
 
 /// splitmix64: decorrelates (seed, site) into a uniform 64-bit draw.
 std::uint64_t mix(std::uint64_t seed, std::uint64_t site) {
@@ -84,6 +85,11 @@ spec parse(std::string_view text, std::uint64_t seed) {
   }
   if (mode == "spawnfail") {
     s.mode = kind::spawnfail;
+    if (!arg.empty()) {
+      const unsigned long count = std::strtoul(arg.c_str(), &end, 10);
+      if (end == arg.c_str() || count == 0) { return spec{}; }
+      s.spawn_fails = static_cast<unsigned>(count);
+    }
     return s;
   }
   return spec{};
@@ -92,6 +98,7 @@ spec parse(std::string_view text, std::uint64_t seed) {
 void set(const spec& s) {
   g_spec = s;
   g_alloc_site.store(0, std::memory_order_relaxed);
+  g_spawn_site.store(0, std::memory_order_relaxed);
   detail::g_armed.store(s.mode != kind::none, std::memory_order_release);
 }
 
@@ -137,6 +144,11 @@ void on_alloc(std::size_t bytes) {
 void on_spawn() {
   load_from_env();
   if (g_spec.mode != kind::spawnfail) { return; }
+  if (g_spec.spawn_fails > 0) {
+    const std::uint64_t site =
+        g_spawn_site.fetch_add(1, std::memory_order_relaxed);
+    if (site >= g_spec.spawn_fails) { return; }  // the storm has cleared
+  }
   throw std::system_error(EAGAIN, std::generic_category(),
                           "pstlb: injected thread-spawn failure");
 }

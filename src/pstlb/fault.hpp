@@ -10,6 +10,9 @@
 //                stall early (this is what drives the watchdog tests)
 //   spawnfail    every pool thread spawn throws std::system_error (drives the
 //                partial-startup cleanup paths in the pools)
+//   spawnfail:<n> only the first n spawn attempts throw — models a transient
+//                EAGAIN storm that clears, driving the bounded-backoff spawn
+//                retry (sched/spawn_retry.hpp)
 //
 // Decisions are a pure hash of (PSTLB_FAULT_SEED, site index), so a failing
 // run replays identically: the same chunks throw, the same allocations fail.
@@ -36,6 +39,7 @@ struct spec {
   kind mode = kind::none;
   double probability = 0.0;   // throw / oom
   unsigned stall_ms = 0;      // stall
+  unsigned spawn_fails = 0;   // spawnfail: 0 = every attempt, n = first n only
   std::uint64_t seed = 1;
 };
 

@@ -1,0 +1,33 @@
+// Bounded-backoff retry for worker-thread spawn.
+//
+// Under caller storms the kernel can transiently refuse thread creation
+// (EAGAIN: pid/cgroup pressure, momentary rlimit contention) even though the
+// process is healthy; treating the first refusal as fatal would tear down a
+// whole arena for a blip that clears in milliseconds. Three attempts with
+// 1ms/2ms pauses cost at most ~3ms before the failure is declared real and
+// propagates to the existing join-and-report path.
+#pragma once
+
+#include <chrono>
+#include <system_error>
+#include <thread>
+
+namespace pstlb::sched {
+
+/// Runs `spawn()` up to three times, sleeping 1ms then 2ms between attempts.
+/// Only std::system_error (what std::thread construction throws) is retried;
+/// the final failure — and every other exception type — propagates.
+template <class Spawn>
+void spawn_with_retry(Spawn&& spawn) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      spawn();
+      return;
+    } catch (const std::system_error&) {
+      if (attempt >= 2) { throw; }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1u << attempt));
+    }
+  }
+}
+
+}  // namespace pstlb::sched

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "pstlb/env.hpp"
+#include "sched/arena.hpp"
 #include "sched/watchdog.hpp"
 #include "trace/trace.hpp"
 
@@ -101,6 +102,7 @@ void steal_pool::run(unsigned participants, const loop_context& ctx) {
   };
   ctx_ = &run_ctx;
   active_plan_ = plan;
+  active_arena_ = arena::current();
   remaining_.store(chunks, std::memory_order_release);
   // Seed each planned range into its node leader's deque (one root range in
   // the caller's deque on flat topologies); the splitting trees unfold from
@@ -117,12 +119,14 @@ void steal_pool::run(unsigned participants, const loop_context& ctx) {
     remaining_.store(0, std::memory_order_release);
     ctx_ = nullptr;
     active_plan_ = nullptr;
+    active_arena_ = nullptr;
     throw;
   }
 
   pool_.run(participants, work_fn);
   ctx_ = nullptr;
   active_plan_ = nullptr;
+  active_arena_ = nullptr;
   run_ctx.errors->rethrow();
 }
 
@@ -175,6 +179,13 @@ void steal_pool::work(unsigned tid, unsigned nthreads) {
                                : 0);
       }
       if (!item) {
+        // Out of loop work: drain the arena's pending nested tasks (a
+        // parallel call made inside one of this loop's chunks) before
+        // falling back to idle spinning.
+        if (active_arena_ != nullptr && active_arena_->try_help_nested()) {
+          idle_spins = 0;
+          continue;
+        }
         if (idle_since == 0) { idle_since = trace::span_begin(); }
         if (++idle_spins >= 64) {
           std::this_thread::yield();

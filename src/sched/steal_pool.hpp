@@ -28,6 +28,8 @@
 
 namespace pstlb::sched {
 
+class arena;
+
 class steal_pool {
  public:
   explicit steal_pool(unsigned workers);
@@ -53,6 +55,10 @@ class steal_pool {
   std::vector<std::unique_ptr<chase_lev_deque<packed_chunks>>> deques_;
   const loop_context* ctx_ = nullptr;
   std::atomic<index_t> remaining_{0};
+  // Arena of the active run (null = none). Written under run_mutex_ before
+  // workers start; idle workers offer the arena's pending nested tasks a
+  // hand through it (arena::try_help_nested) instead of spinning.
+  arena* active_arena_ = nullptr;
   // Active run's locality plan (null = uniform stealing). Written under
   // run_mutex_ before workers start, cleared after they join.
   const locality_plan* active_plan_ = nullptr;

@@ -4,6 +4,7 @@
 
 #include "counters/provider.hpp"
 #include "pstlb/fault.hpp"
+#include "sched/spawn_retry.hpp"
 #include "sched/watchdog.hpp"
 #include "trace/trace.hpp"
 
@@ -21,8 +22,10 @@ task_queue_pool::task_queue_pool(unsigned workers) {
   workers_.reserve(workers);
   try {
     for (unsigned i = 0; i < workers; ++i) {
-      if (fault::armed()) { fault::on_spawn(); }
-      workers_.emplace_back([this, slot = i + 1] { worker_main(slot); });
+      spawn_with_retry([this, slot = i + 1] {
+        if (fault::armed()) { fault::on_spawn(); }
+        workers_.emplace_back([this, slot] { worker_main(slot); });
+      });
     }
   } catch (...) {
     // Partial startup: join the started workers before the vector<thread>
@@ -55,9 +58,12 @@ void task_queue_pool::ensure(unsigned participants) {
   const unsigned needed = participants == 0 ? 0 : participants - 1;
   while (workers_.size() < needed) {
     const unsigned slot = static_cast<unsigned>(workers_.size()) + 1;
-    if (fault::armed()) { fault::on_spawn(); }
-    // Spawn failure propagates with the pool intact (started workers stay).
-    workers_.emplace_back([this, slot] { worker_main(slot); });
+    // A persistent spawn failure (after the bounded retry) propagates with
+    // the pool intact (started workers stay).
+    spawn_with_retry([this, slot] {
+      if (fault::armed()) { fault::on_spawn(); }
+      workers_.emplace_back([this, slot] { worker_main(slot); });
+    });
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include "counters/provider.hpp"
 #include "pstlb/fault.hpp"
+#include "sched/spawn_retry.hpp"
 #include "sched/watchdog.hpp"
 
 namespace pstlb::sched {
@@ -14,8 +15,10 @@ thread_pool::thread_pool(unsigned workers, std::string name, trace::pool_id pool
   workers_.reserve(workers);
   try {
     for (unsigned tid = 1; tid <= workers; ++tid) {
-      if (fault::armed()) { fault::on_spawn(); }
-      workers_.emplace_back([this, tid] { worker_main(tid); });
+      spawn_with_retry([this, tid] {
+        if (fault::armed()) { fault::on_spawn(); }
+        workers_.emplace_back([this, tid] { worker_main(tid); });
+      });
     }
   } catch (...) {
     // Partial startup: the members are destroyed but ~thread_pool never runs,
@@ -46,10 +49,13 @@ void thread_pool::ensure(unsigned threads) {
   const unsigned needed = threads == 0 ? 0 : threads - 1;
   while (workers_.size() < needed) {
     const unsigned tid = static_cast<unsigned>(workers_.size()) + 1;
-    if (fault::armed()) { fault::on_spawn(); }
-    // A spawn failure here propagates with the pool intact: workers already
-    // in the vector keep running and are joined by the destructor.
-    workers_.emplace_back([this, tid] { worker_main(tid); });
+    // A persistent spawn failure (after the bounded retry) propagates with
+    // the pool intact: workers already in the vector keep running and are
+    // joined by the destructor.
+    spawn_with_retry([this, tid] {
+      if (fault::armed()) { fault::on_spawn(); }
+      workers_.emplace_back([this, tid] { worker_main(tid); });
+    });
   }
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "pstlb/env.hpp"
+#include "sched/arena.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/trace.hpp"
 
@@ -49,6 +50,9 @@ struct worker_slot {
 struct region_entry {
   cancel_source* src = nullptr;
   const char* label = nullptr;
+  /// Arena that admitted this region (captured from the launching thread's
+  /// binding), for per-arena stall attribution. Null outside any arena.
+  arena* owner = nullptr;
   std::uint64_t last_progress = 0;
   std::uint64_t last_change_ms = 0;
   bool fired = false;
@@ -125,10 +129,14 @@ void export_trace_dump() {
 void fire(monitor_state& s, region_entry& region, std::uint64_t interval_ms) {
   const std::uint64_t stalled = now_ms() - region.last_change_ms;
   std::fprintf(stderr,
-               "pstlb: watchdog: region '%s' made no progress for %llu ms "
+               "pstlb: watchdog: region '%s'%s%s made no progress for %llu ms "
                "(%llu chunks completed) — diagnosing, then cancelling\n",
-               region.label, static_cast<unsigned long long>(stalled),
+               region.label,
+               region.owner != nullptr ? " in arena " : "",
+               region.owner != nullptr ? region.owner->name().c_str() : "",
+               static_cast<unsigned long long>(stalled),
                static_cast<unsigned long long>(region.last_progress));
+  if (region.owner != nullptr) { region.owner->note_watchdog_fire(); }
   dump_workers(s, interval_ms);
   export_trace_dump();
   std::fprintf(stderr, "pstlb: watchdog: cancelling region '%s'\n", region.label);
@@ -215,7 +223,10 @@ std::uint64_t fired_count() noexcept {
 
 scope::scope(cancel_source& src, const char* label) {
   if (timeout_ms() == 0) { return; }
-  auto* region = new region_entry{&src, label, src.progress(), now_ms(), false};
+  // The scope is constructed on the launching thread, where dispatch's
+  // arena binding is still active — capture it for stall attribution.
+  auto* region = new region_entry{&src, label, arena::current(),
+                                  src.progress(), now_ms(), false};
   monitor_state& s = state();
   {
     std::lock_guard lock(s.mutex);

@@ -10,6 +10,7 @@
 
 #include "bench_core/result_store.hpp"
 #include "pstlb/env.hpp"
+#include "sched/arena.hpp"
 
 namespace pstlb::stats {
 
@@ -96,6 +97,22 @@ void write_op_json(std::ostream& os, const op_snapshot& s) {
     os << s.hist[b];
   }
   os << "]}";
+}
+
+void write_arena_json(std::ostream& os, const sched::arena_snapshot& s) {
+  os << "{\"arena\":\"" << s.name << "\",\"cap\":" << s.cap
+     << ",\"admitted\":" << s.admitted << ",\"completed\":" << s.completed
+     << ",\"sequential_cap\":" << s.sequential_cap
+     << ",\"shed_saturated\":" << s.shed_saturated
+     << ",\"shed_deadline\":" << s.shed_deadline
+     << ",\"shed_spawnfail\":" << s.shed_spawnfail
+     << ",\"shed_oom\":" << s.shed_oom
+     << ",\"watchdog_fires\":" << s.watchdog_fires
+     << ",\"nested_runs\":" << s.nested_runs
+     << ",\"nested_helps\":" << s.nested_helps
+     << ",\"peak_pending\":" << s.peak_pending << ",\"calls\":" << s.calls
+     << ",\"p50_ns\":" << s.p50_ns() << ",\"p95_ns\":" << s.p95_ns()
+     << ",\"p99_ns\":" << s.p99_ns() << "}";
 }
 
 }  // namespace
@@ -261,6 +278,15 @@ void write_json(std::ostream& os) {
     first = false;
     write_op_json(os, s);
   }
+  // Arena admission/degradation counters and per-caller latency quantiles —
+  // the multi-tenant side of the same observability story (DESIGN.md §17).
+  os << "],\"arenas\":[";
+  first = true;
+  for (const sched::arena_snapshot& s : sched::arena::snapshot_all()) {
+    if (!first) { os << ','; }
+    first = false;
+    write_arena_json(os, s);
+  }
   os << "]}\n";
 }
 
@@ -282,6 +308,36 @@ void write_prometheus(std::ostream& os) {
     os << "pstlb_latency_ns_sum{op=\"" << name << "\"} " << s.total_ns << '\n';
     os << "pstlb_latency_ns_count{op=\"" << name << "\"} " << s.calls << '\n';
     os << "pstlb_latency_ns_max{op=\"" << name << "\"} " << s.max_ns << '\n';
+  }
+  const auto arenas = sched::arena::snapshot_all();
+  if (!arenas.empty()) {
+    os << "# TYPE pstlb_arena_admitted_total counter\n";
+    for (const sched::arena_snapshot& a : arenas) {
+      os << "pstlb_arena_admitted_total{arena=\"" << a.name << "\"} "
+         << a.admitted << '\n';
+    }
+    os << "# TYPE pstlb_arena_shed_total counter\n";
+    for (const sched::arena_snapshot& a : arenas) {
+      os << "pstlb_arena_shed_total{arena=\"" << a.name
+         << "\",reason=\"saturated\"} " << a.shed_saturated << '\n';
+      os << "pstlb_arena_shed_total{arena=\"" << a.name
+         << "\",reason=\"deadline\"} " << a.shed_deadline << '\n';
+      os << "pstlb_arena_shed_total{arena=\"" << a.name
+         << "\",reason=\"spawnfail\"} " << a.shed_spawnfail << '\n';
+      os << "pstlb_arena_shed_total{arena=\"" << a.name
+         << "\",reason=\"oom\"} " << a.shed_oom << '\n';
+    }
+    os << "# TYPE pstlb_arena_call_latency_ns summary\n";
+    for (const sched::arena_snapshot& a : arenas) {
+      os << "pstlb_arena_call_latency_ns{arena=\"" << a.name
+         << "\",quantile=\"0.5\"} " << a.p50_ns() << '\n';
+      os << "pstlb_arena_call_latency_ns{arena=\"" << a.name
+         << "\",quantile=\"0.95\"} " << a.p95_ns() << '\n';
+      os << "pstlb_arena_call_latency_ns{arena=\"" << a.name
+         << "\",quantile=\"0.99\"} " << a.p99_ns() << '\n';
+      os << "pstlb_arena_call_latency_ns_count{arena=\"" << a.name << "\"} "
+         << a.calls << '\n';
+    }
   }
 }
 

@@ -1,0 +1,240 @@
+// Multi-tenant overload tests: many concurrent request threads funneling
+// mixed kernels through arena admission on every backend. Checks results
+// against sequential references, no deadlock at the cap<=1 floor, graceful
+// degradation (not errors) under injected worker-spawn failure, and the
+// exactly-one-exception-per-caller contract under fault injection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "pstlb/fault.hpp"
+#include "pstlb/pstlb.hpp"
+#include "sched/arena.hpp"
+#include "support/policies.hpp"
+
+namespace {
+
+using pstlb::index_t;
+using pstlb::sched::arena;
+
+namespace fault = pstlb::fault;
+
+arena::config arena_cfg(const char* name, unsigned cap,
+                        unsigned max_pending = 64, unsigned deadline_ms = 0) {
+  arena::config c;
+  c.name = name;
+  c.cap = cap;
+  c.max_pending = max_pending;
+  c.deadline_ms = deadline_ms;
+  return c;
+}
+
+/// One caller's workload: a kernel mix whose expected values are computed
+/// sequentially up front. Returns the number of wrong results.
+template <class Policy>
+int run_mix(Policy policy, unsigned seed) {
+  int failures = 0;
+  std::vector<long long> v(4096);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<long long>((i * 131 + seed) % 997);
+  }
+  const long long expected_sum = std::accumulate(v.begin(), v.end(), 0LL);
+  if (pstlb::reduce(policy, v.begin(), v.end(), 0LL) != expected_sum) {
+    ++failures;
+  }
+
+  auto doubled = v;
+  pstlb::for_each(policy, doubled.begin(), doubled.end(),
+                  [](long long& x) { x *= 2; });
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (doubled[i] != 2 * v[i]) { ++failures; break; }
+  }
+
+  std::vector<long long> scanned(v.size());
+  pstlb::inclusive_scan(policy, v.begin(), v.end(), scanned.begin());
+  if (scanned.back() != expected_sum) { ++failures; }
+
+  auto sorted = v;
+  pstlb::sort(policy, sorted.begin(), sorted.end());
+  if (!std::is_sorted(sorted.begin(), sorted.end()) ||
+      std::accumulate(sorted.begin(), sorted.end(), 0LL) != expected_sum) {
+    ++failures;
+  }
+  return failures;
+}
+
+/// Runs `callers` request threads against `a`, every thread bound to the
+/// arena, rotating through all five policies. Returns total wrong results.
+int hammer(arena& a, unsigned callers, int rounds) {
+  std::atomic<int> failures{0};
+  std::vector<std::thread> users;
+  users.reserve(callers);
+  for (unsigned u = 0; u < callers; ++u) {
+    users.emplace_back([&a, u, rounds, &failures] {
+      arena::scoped_bind bind(&a);
+      for (int round = 0; round < rounds; ++round) {
+        const unsigned seed = u * 1000 + static_cast<unsigned>(round);
+        switch (u % 5) {
+          case 0:
+            failures += run_mix(pstlb::exec::seq, seed);
+            break;
+          case 1:
+            failures += run_mix(
+                pstlb::test::make_eager<pstlb::exec::steal_policy>(), seed);
+            break;
+          case 2:
+            failures += run_mix(
+                pstlb::test::make_eager<pstlb::exec::fork_join_policy>(), seed);
+            break;
+          case 3:
+            failures += run_mix(
+                pstlb::test::make_eager<pstlb::exec::task_policy>(), seed);
+            break;
+          default:
+            failures += run_mix(
+                pstlb::test::make_eager<pstlb::exec::omp_dynamic_policy>(),
+                seed);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& user : users) { user.join(); }
+  return failures.load();
+}
+
+class ArenaStress : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::set(fault::spec{}); }
+};
+
+TEST_F(ArenaStress, SixtyFourCallersAgainstSmallCapStayCorrect) {
+  // 64 request threads share an 8-token arena: heavy queueing and grant
+  // shrinking, but every result must still match the sequential reference
+  // and nobody may deadlock.
+  arena a(arena_cfg("stress8", 8, /*max_pending=*/128));
+  EXPECT_EQ(hammer(a, 64, 2), 0);
+  const auto s = a.snapshot();
+  EXPECT_GT(s.admitted, 0u);
+  EXPECT_EQ(s.admitted, s.completed);
+  EXPECT_EQ(s.watchdog_fires, 0u);
+}
+
+TEST_F(ArenaStress, CapOfOneDegradesEveryCallWithoutDeadlock) {
+  arena a(arena_cfg("cap1", 1));
+  EXPECT_EQ(hammer(a, 16, 2), 0);
+  const auto s = a.snapshot();
+  EXPECT_EQ(s.admitted, 0u);          // nothing ran parallel
+  EXPECT_GT(s.sequential_cap, 0u);    // the cap policy degraded them all
+}
+
+TEST_F(ArenaStress, SaturationShedsToSequentialNotError) {
+  // Queue bound 1 with a slow token-release pattern: most callers shed.
+  arena a(arena_cfg("tiny", 2, /*max_pending=*/1));
+  EXPECT_EQ(hammer(a, 16, 2), 0);
+  const auto s = a.snapshot();
+  EXPECT_GT(s.shed_saturated + s.admitted + s.sequential_cap, 0u);
+  EXPECT_EQ(s.admitted, s.completed);
+}
+
+TEST_F(ArenaStress, DeadlineBoundsAdmissionWait) {
+  arena a(arena_cfg("deadline", 2, /*max_pending=*/64, /*deadline_ms=*/1));
+  EXPECT_EQ(hammer(a, 16, 2), 0);
+  EXPECT_EQ(a.snapshot().admitted, a.snapshot().completed);
+}
+
+TEST_F(ArenaStress, SpawnFailureShedsGracefullyWithObservableCounter) {
+  // An oversized grant forces pool growth; with PSTLB_FAULT=spawnfail every
+  // growth attempt fails, so each parallel leg must shed to sequential —
+  // correct results, no exception, and a visible shed counter.
+  arena a(arena_cfg("spawn", 4096, /*max_pending=*/64));
+  fault::set("spawnfail");
+  std::atomic<int> failures{0};
+  std::vector<std::thread> users;
+  for (unsigned u = 0; u < 8; ++u) {
+    users.emplace_back([&a, u, &failures] {
+      arena::scoped_bind bind(&a);
+      pstlb::exec::steal_policy steal{512};
+      steal.seq_threshold = 0;
+      failures += run_mix(steal, u);
+      pstlb::exec::fork_join_policy fork{512};
+      fork.seq_threshold = 0;
+      failures += run_mix(fork, u);
+    });
+  }
+  for (auto& user : users) { user.join(); }
+  fault::set(fault::spec{});
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(a.snapshot().shed_spawnfail, 0u);
+}
+
+TEST_F(ArenaStress, SortOomFallsThroughTheWholeDegradationLadder) {
+  // oom:1 makes every hooked scratch allocation throw: samplesort's scatter
+  // buffer fails -> mergesort's merge buffer fails -> sequential whole-array
+  // sort. The call must still produce a sorted result, throw nothing, and
+  // count the sheds.
+  arena a(arena_cfg("oom", 8));
+  fault::set("oom:1");
+  arena::scoped_bind bind(&a);
+  auto policy = pstlb::test::make_eager<pstlb::exec::steal_policy>();
+  policy.sample_sort_min = 0;  // force the samplesort leg first
+  std::vector<long long> v(1 << 15);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<long long>((i * 2654435761u) % 100000);
+  }
+  auto stable = v;
+  EXPECT_NO_THROW(pstlb::sort(policy, v.begin(), v.end()));
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_NO_THROW(pstlb::stable_sort(policy, stable.begin(), stable.end()));
+  EXPECT_TRUE(std::is_sorted(stable.begin(), stable.end()));
+  fault::set(fault::spec{});
+  EXPECT_GT(a.snapshot().shed_oom, 0u);
+}
+
+TEST_F(ArenaStress, ExactlyOneExceptionPerCallerUnderFault) {
+  // throw:1 makes the first executed chunk of every region throw. Each
+  // caller must see exactly one exception per algorithm call (first-wins
+  // capture, duplicates drained), process intact.
+  arena a(arena_cfg("faulty", 8, /*max_pending=*/128));
+  fault::set("throw:1");
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> users;
+  for (unsigned u = 0; u < 16; ++u) {
+    users.emplace_back([&a, u, &wrong] {
+      arena::scoped_bind bind(&a);
+      std::vector<long long> v(4096, static_cast<long long>(u));
+      for (int round = 0; round < 3; ++round) {
+        int seen = 0;
+        try {
+          auto policy = pstlb::test::make_eager<pstlb::exec::steal_policy>();
+          pstlb::for_each(policy, v.begin(), v.end(), [](long long& x) { ++x; });
+        } catch (const fault::injected_fault&) {
+          ++seen;
+        }
+        if (seen != 1) { wrong.fetch_add(1); }
+      }
+    });
+  }
+  for (auto& user : users) { user.join(); }
+  fault::set(fault::spec{});
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST_F(ArenaStress, DefaultArenaCoversUnboundCallers) {
+  // No explicit binding: dispatch admits against the process default arena.
+  const auto before = arena::default_arena().snapshot();
+  auto policy = pstlb::test::make_eager<pstlb::exec::steal_policy>();
+  std::vector<long long> v(1 << 15);
+  std::iota(v.begin(), v.end(), 0);
+  const long long expected = std::accumulate(v.begin(), v.end(), 0LL);
+  EXPECT_EQ(pstlb::reduce(policy, v.begin(), v.end(), 0LL), expected);
+  const auto after = arena::default_arena().snapshot();
+  EXPECT_GT(after.admitted + after.sequential_cap,
+            before.admitted + before.sequential_cap);
+}
+
+}  // namespace

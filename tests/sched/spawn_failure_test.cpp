@@ -58,6 +58,30 @@ TEST_F(SpawnFailure, FailedEnsureLeavesThreadPoolUsable) {
   EXPECT_EQ(ran.load(), 2u);
 }
 
+TEST_F(SpawnFailure, TransientFailureIsAbsorbedByRetry) {
+  // spawnfail:2 fails only the first two std::thread spawns; the bounded
+  // exponential-backoff retry (3 attempts per worker) must absorb them and
+  // deliver a fully-populated pool.
+  fault::set("spawnfail:2");
+  pstlb::sched::thread_pool pool(4, "spawn_retry");
+  EXPECT_EQ(pool.worker_count(), 4u);
+}
+
+TEST_F(SpawnFailure, TransientFailureDuringEnsureRecovers) {
+  pstlb::sched::thread_pool pool(1, "ensure_retry");
+  fault::set("spawnfail:1");
+  pool.ensure(4);  // must not throw: one failure, retried
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST_F(SpawnFailure, SpawnfailCountParses) {
+  EXPECT_EQ(fault::parse("spawnfail:2").mode, fault::kind::spawnfail);
+  EXPECT_EQ(fault::parse("spawnfail:2").spawn_fails, 2u);
+  EXPECT_EQ(fault::parse("spawnfail").spawn_fails, 0u);  // 0 = every attempt
+  EXPECT_EQ(fault::parse("spawnfail:0").mode, fault::kind::none);
+  EXPECT_EQ(fault::parse("spawnfail:x").mode, fault::kind::none);
+}
+
 TEST_F(SpawnFailure, FailedEnsureLeavesTaskQueuePoolUsable) {
   pstlb::sched::task_queue_pool pool(1);
   fault::set("spawnfail");
