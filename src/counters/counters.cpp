@@ -9,6 +9,7 @@ counter_set& counter_set::operator+=(const counter_set& other) {
   fp_scalar += other.fp_scalar;
   fp_128 += other.fp_128;
   fp_256 += other.fp_256;
+  fp_512 += other.fp_512;
   bytes_read += other.bytes_read;
   bytes_written += other.bytes_written;
   seconds += other.seconds;

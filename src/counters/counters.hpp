@@ -35,6 +35,7 @@ struct counter_set {
   double fp_scalar = 0;      // scalar FLOP count
   double fp_128 = 0;         // 128-bit packed FLOP instructions
   double fp_256 = 0;         // 256-bit packed FLOP instructions
+  double fp_512 = 0;         // 512-bit packed FLOP instructions
   double bytes_read = 0;     // DRAM read volume
   double bytes_written = 0;  // DRAM write volume
   double seconds = 0;        // region wall time
@@ -68,8 +69,11 @@ struct counter_set {
     return hw_cache_refs > 0 ? hw_cache_misses / hw_cache_refs : 0;
   }
 
-  /// Total FLOPs counting packed lanes (2 per 128-bit, 4 per 256-bit op).
-  double flops() const { return fp_scalar + 2 * fp_128 + 4 * fp_256; }
+  /// Total FLOPs counting packed lanes (2 per 128-bit, 4 per 256-bit op,
+  /// 8 per 512-bit op).
+  double flops() const {
+    return fp_scalar + 2 * fp_128 + 4 * fp_256 + 8 * fp_512;
+  }
   double gflops_per_s() const { return seconds > 0 ? flops() / seconds * 1e-9 : 0; }
   double bytes_total() const { return bytes_read + bytes_written; }
   double bandwidth_gib_per_s() const {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "backends/skeletons.hpp"
+#include "pstlb/detail/simd/leaf.hpp"
 #include "pstlb/exec.hpp"
 #include "trace/stats_registry.hpp"
 
@@ -58,10 +59,36 @@ Out transform(P&& policy, It first, It last, Out out, F f) {
   stats::scoped_call pstlb_stats_scope_(stats::op::transform);
   const index_t n = std::distance(first, last);
   const auto hint = exec::data_hint(first);
+  // par_unseq: std::negate over a covered contiguous type runs the SIMD
+  // negate kernel per leaf (exact for every covered type — integer wrap and
+  // IEEE sign flip match the scalar loop bit for bit).
+  using Elem = typename std::iterator_traits<It>::value_type;
+  constexpr bool vec_ok = simd::leaf_eligible_v<Elem, It, Out> &&
+                          simd::is_negate_v<F, Elem>;
+  const simd::kernel_set<Elem>* vk = nullptr;
+  if constexpr (vec_ok) {
+    vk = simd::leaf_for<Elem, It, Out>(exec::wants_vector_leaf(policy));
+  }
   return exec::dispatch<It, Out>(
-      policy, n, [&] { return std::transform(first, last, out, f); },
+      policy, n,
+      [&] {
+        if constexpr (vec_ok) {
+          if (vk != nullptr) {
+            vk->negate(std::to_address(first), std::to_address(out), n);
+            return out + n;
+          }
+        }
+        return std::transform(first, last, out, f);
+      },
       [&](auto be, index_t grain) {
         backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          if constexpr (vec_ok) {
+            if (vk != nullptr) {
+              vk->negate(std::to_address(first) + b, std::to_address(out) + b,
+                         e - b);
+              return;
+            }
+          }
           std::transform(first + b, first + e, out + b, f);
         });
         return out + n;
@@ -72,10 +99,54 @@ template <exec::ExecutionPolicy P, class It1, class It2, class Out, class F>
 Out transform(P&& policy, It1 first1, It1 last1, It2 first2, Out out, F f) {
   stats::scoped_call pstlb_stats_scope_(stats::op::transform);
   const index_t n = std::distance(first1, last1);
+  // par_unseq: std::plus/minus/multiplies over covered contiguous types run
+  // the element-wise SIMD kernels; the kernels tolerate out aliasing either
+  // input exactly (the a[i] op b[i] -> a[i] in-place idiom).
+  using Elem = typename std::iterator_traits<It1>::value_type;
+  constexpr bool elig = simd::leaf_eligible_v<Elem, It1, It2, Out>;
+  constexpr bool vec_ok =
+      elig && (simd::is_plus_v<F, Elem> || simd::is_minus_v<F, Elem> ||
+               simd::is_multiplies_v<F, Elem>);
+  const simd::kernel_set<Elem>* vk = nullptr;
+  if constexpr (vec_ok) {
+    vk = simd::leaf_for<Elem, It1, It2, Out>(exec::wants_vector_leaf(policy));
+  }
+  auto vec_leaf = [&](index_t b, index_t e) {
+    if constexpr (vec_ok) {
+      const Elem* a = std::to_address(first1) + b;
+      const Elem* c = std::to_address(first2) + b;
+      Elem* o = std::to_address(out) + b;
+      if constexpr (simd::is_plus_v<F, Elem>) {
+        vk->add(a, c, o, e - b);
+      } else if constexpr (simd::is_minus_v<F, Elem>) {
+        vk->sub(a, c, o, e - b);
+      } else {
+        vk->mul(a, c, o, e - b);
+      }
+    } else {
+      (void)b;
+      (void)e;
+    }
+  };
   return exec::dispatch<It1, It2, Out>(
-      policy, n, [&] { return std::transform(first1, last1, first2, out, f); },
+      policy, n,
+      [&] {
+        if constexpr (vec_ok) {
+          if (vk != nullptr) {
+            vec_leaf(0, n);
+            return out + n;
+          }
+        }
+        return std::transform(first1, last1, first2, out, f);
+      },
       [&](auto be, index_t grain) {
         backends::parallel_for(be, n, grain, [&](index_t b, index_t e, unsigned) {
+          if constexpr (vec_ok) {
+            if (vk != nullptr) {
+              vec_leaf(b, e);
+              return;
+            }
+          }
           std::transform(first1 + b, first1 + e, first2 + b, out + b, f);
         });
         return out + n;

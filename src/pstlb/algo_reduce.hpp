@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "backends/skeletons.hpp"
+#include "pstlb/detail/simd/leaf.hpp"
 #include "pstlb/exec.hpp"
 #include "trace/stats_registry.hpp"
 
@@ -25,12 +26,34 @@ T reduce(P&& policy, It first, It last, T init, Op op) {
   const index_t n = std::distance(first, last);
   // NUMA placement hint: chunks seed onto the node owning first[i]'s pages.
   const auto hint = exec::data_hint(first);
+  // par_unseq: sum leaves go through the SIMD kernel table when the op is
+  // std::plus over a covered contiguous element type. Multi-accumulator
+  // kernels reassociate FP sums — the licence unseq grants; non-plus ops
+  // (including non-commutative ones) always keep the ordered classic leaf.
+  constexpr bool vec_ok = simd::leaf_eligible_v<T, It> && simd::is_plus_v<Op, T>;
+  const simd::kernel_set<T>* vk = nullptr;
+  if constexpr (vec_ok) {
+    vk = simd::leaf_for<T, It>(exec::wants_vector_leaf(policy));
+  }
   return exec::dispatch<It>(
-      policy, n, [&] { return std::reduce(first, last, std::move(init), op); },
+      policy, n,
+      [&] {
+        if constexpr (vec_ok) {
+          if (vk != nullptr && n > 0) {
+            return op(std::move(init), vk->reduce_sum(std::to_address(first), n));
+          }
+        }
+        return std::reduce(first, last, std::move(init), op);
+      },
       [&](auto be, index_t grain) {
         return backends::parallel_reduce(
             be, n, grain, std::move(init),
             [&](index_t b, index_t e) {
+              if constexpr (vec_ok) {
+                if (vk != nullptr) {
+                  return vk->reduce_sum(std::to_address(first) + b, e - b);
+                }
+              }
               return std::reduce(first + b + 1, first + e, T(first[b]), op);
             },
             op);
@@ -83,9 +106,25 @@ T transform_reduce(P&& policy, It1 first1, It1 last1, It2 first2, T init,
                    Reduce reduce_op, Transform transform_op) {
   stats::scoped_call pstlb_stats_scope_(stats::op::transform_reduce);
   const index_t n = std::distance(first1, last1);
+  // par_unseq: the default (plus, multiplies) pair is a dot product — the
+  // paper's Tab. 4 transform_reduce kernel — and runs the SIMD dot kernel.
+  constexpr bool vec_ok = simd::leaf_eligible_v<T, It1, It2> &&
+                          simd::is_plus_v<Reduce, T> &&
+                          simd::is_multiplies_v<Transform, T>;
+  const simd::kernel_set<T>* vk = nullptr;
+  if constexpr (vec_ok) {
+    vk = simd::leaf_for<T, It1, It2>(exec::wants_vector_leaf(policy));
+  }
   return exec::dispatch<It1, It2>(
       policy, n,
       [&] {
+        if constexpr (vec_ok) {
+          if (vk != nullptr && n > 0) {
+            return reduce_op(std::move(init),
+                             vk->dot(std::to_address(first1),
+                                     std::to_address(first2), n));
+          }
+        }
         return std::transform_reduce(first1, last1, first2, std::move(init),
                                      reduce_op, transform_op);
       },
@@ -93,6 +132,12 @@ T transform_reduce(P&& policy, It1 first1, It1 last1, It2 first2, T init,
         return backends::parallel_reduce(
             be, n, grain, std::move(init),
             [&](index_t b, index_t e) {
+              if constexpr (vec_ok) {
+                if (vk != nullptr) {
+                  return vk->dot(std::to_address(first1) + b,
+                                 std::to_address(first2) + b, e - b);
+                }
+              }
               T acc = transform_op(first1[b], first2[b]);
               for (index_t i = b + 1; i < e; ++i) {
                 acc = reduce_op(std::move(acc), transform_op(first1[i], first2[i]));
@@ -134,6 +179,30 @@ template <exec::ExecutionPolicy P, class It, class T>
 typename std::iterator_traits<It>::difference_type count(P&& policy, It first,
                                                          It last, const T& value) {
   stats::scoped_call pstlb_stats_scope_(stats::op::count);
+  using D = typename std::iterator_traits<It>::difference_type;
+  using Elem = typename std::iterator_traits<It>::value_type;
+  // par_unseq: same-typed value counts run the vectorized count_eq leaf
+  // (accumulated compare masks) instead of delegating to count_if.
+  if constexpr (simd::leaf_eligible_v<Elem, It> && std::is_same_v<T, Elem>) {
+    const simd::kernel_set<Elem>* vk =
+        simd::leaf_for<Elem, It>(exec::wants_vector_leaf(policy));
+    if (vk != nullptr) {
+      const index_t n = std::distance(first, last);
+      const auto hint = exec::data_hint(first);
+      const Elem* p = std::to_address(first);
+      const Elem v = value;
+      return exec::dispatch<It>(
+          policy, n, [&] { return static_cast<D>(vk->count_eq(p, n, v)); },
+          [&](auto be, index_t grain) {
+            return backends::parallel_reduce(
+                be, n, grain, D{0},
+                [&](index_t b, index_t e) {
+                  return static_cast<D>(vk->count_eq(p + b, e - b, v));
+                },
+                std::plus<>{});
+          });
+    }
+  }
   return pstlb::count_if(std::forward<P>(policy), first, last,
                          [&value](const auto& x) { return x == value; });
 }
@@ -163,12 +232,36 @@ It min_element(P&& policy, It first, It last, Compare comp) {
   stats::scoped_call pstlb_stats_scope_(stats::op::min_element);
   const index_t n = std::distance(first, last);
   if (n <= 0) { return last; }
+  // par_unseq: std::less comparisons vectorize as two passes — a blended
+  // reduce_min, then find_eq of that value — which keeps first-occurrence
+  // semantics for totally ordered data (see DESIGN.md §18 for the float
+  // NaN carve-out).
+  using Elem = typename std::iterator_traits<It>::value_type;
+  constexpr bool vec_ok =
+      simd::leaf_eligible_v<Elem, It> && simd::is_less_v<Compare, Elem>;
+  const simd::kernel_set<Elem>* vk = nullptr;
+  if constexpr (vec_ok) {
+    vk = simd::leaf_for<Elem, It>(exec::wants_vector_leaf(policy));
+  }
   return exec::dispatch<It>(
-      policy, n, [&] { return std::min_element(first, last, comp); },
+      policy, n,
+      [&] {
+        if constexpr (vec_ok) {
+          if (vk != nullptr) {
+            return first + vk->min_index(std::to_address(first), n);
+          }
+        }
+        return std::min_element(first, last, comp);
+      },
       [&](auto be, index_t grain) {
         const index_t best = backends::parallel_reduce(
             be, n, grain, index_t{0},
             [&](index_t b, index_t e) {
+              if constexpr (vec_ok) {
+                if (vk != nullptr) {
+                  return b + vk->min_index(std::to_address(first) + b, e - b);
+                }
+              }
               return static_cast<index_t>(
                   std::min_element(first + b, first + e, comp) - first);
             },
@@ -188,12 +281,32 @@ It max_element(P&& policy, It first, It last, Compare comp) {
   stats::scoped_call pstlb_stats_scope_(stats::op::max_element);
   const index_t n = std::distance(first, last);
   if (n <= 0) { return last; }
+  using Elem = typename std::iterator_traits<It>::value_type;
+  constexpr bool vec_ok =
+      simd::leaf_eligible_v<Elem, It> && simd::is_less_v<Compare, Elem>;
+  const simd::kernel_set<Elem>* vk = nullptr;
+  if constexpr (vec_ok) {
+    vk = simd::leaf_for<Elem, It>(exec::wants_vector_leaf(policy));
+  }
   return exec::dispatch<It>(
-      policy, n, [&] { return std::max_element(first, last, comp); },
+      policy, n,
+      [&] {
+        if constexpr (vec_ok) {
+          if (vk != nullptr) {
+            return first + vk->max_index(std::to_address(first), n);
+          }
+        }
+        return std::max_element(first, last, comp);
+      },
       [&](auto be, index_t grain) {
         const index_t best = backends::parallel_reduce(
             be, n, grain, index_t{0},
             [&](index_t b, index_t e) {
+              if constexpr (vec_ok) {
+                if (vk != nullptr) {
+                  return b + vk->max_index(std::to_address(first) + b, e - b);
+                }
+              }
               return static_cast<index_t>(
                   std::max_element(first + b, first + e, comp) - first);
             },
@@ -270,6 +383,28 @@ It find_if_not(P&& policy, It first, It last, Pred pred) {
 template <exec::ExecutionPolicy P, class It, class T>
 It find(P&& policy, It first, It last, const T& value) {
   stats::scoped_call pstlb_stats_scope_(stats::op::find);
+  using Elem = typename std::iterator_traits<It>::value_type;
+  // par_unseq: same-typed value searches run the branchless block probe
+  // (vector compare + OR-mask early exit every 4 vectors) per leaf; the
+  // parallel_find skeleton's first-hit fold is unchanged.
+  if constexpr (simd::leaf_eligible_v<Elem, It> && std::is_same_v<T, Elem>) {
+    const simd::kernel_set<Elem>* vk =
+        simd::leaf_for<Elem, It>(exec::wants_vector_leaf(policy));
+    if (vk != nullptr) {
+      const index_t n = std::distance(first, last);
+      const Elem* p = std::to_address(first);
+      const Elem v = value;
+      return exec::dispatch<It>(
+          policy, n, [&] { return first + vk->find_eq(p, n, v); },
+          [&](auto be, index_t grain) {
+            const index_t hit = backends::parallel_find(
+                be, n, grain, [&](index_t b, index_t e) {
+                  return b + vk->find_eq(p + b, e - b, v);
+                });
+            return first + hit;
+          });
+    }
+  }
   return pstlb::find_if(std::forward<P>(policy), first, last,
                         [&value](const auto& x) { return x == value; });
 }

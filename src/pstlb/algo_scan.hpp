@@ -14,12 +14,15 @@
 #include "backends/scan_lookback.hpp"
 #include "backends/skeletons.hpp"
 #include "counters/counters.hpp"
+#include "pstlb/detail/simd/leaf.hpp"
 #include "pstlb/exec.hpp"
 #include "trace/stats_registry.hpp"
 
 namespace pstlb {
 
 namespace detail {
+
+struct identity_fn;
 
 /// Software traffic accounting for scan/pack regions (no-op outside an
 /// active counters::region). `input_passes` is the number of times the
@@ -77,7 +80,23 @@ Out scan_impl(P&& policy, It first, It last, Out out, std::optional<T> init, Op 
       },
       [&](auto be, index_t grain) {
         (void)grain;  // scans use fixed chunk tables, not the loop grain
+        // par_unseq: the up-sweep aggregate pass of a plain plus-scan is a
+        // block sum and runs the SIMD reduce_sum kernel (reassociation is
+        // licensed under unseq). The down-sweep keeps the ordered serial
+        // loop — there is no vectorized running-prefix kernel.
+        constexpr bool vec_ok = simd::leaf_eligible_v<T, It> &&
+                                simd::is_plus_v<Op, T> &&
+                                std::is_same_v<Unary, identity_fn>;
+        const simd::kernel_set<T>* vk = nullptr;
+        if constexpr (vec_ok) {
+          vk = simd::leaf_for<T, It>(exec::wants_vector_leaf(policy));
+        }
         auto reduce_block = [&](index_t b, index_t e) {
+          if constexpr (vec_ok) {
+            if (vk != nullptr) {
+              return vk->reduce_sum(std::to_address(first) + b, e - b);
+            }
+          }
           T acc = unary(first[b]);
           for (index_t i = b + 1; i < e; ++i) {
             acc = op(std::move(acc), unary(first[i]));

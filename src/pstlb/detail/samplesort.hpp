@@ -64,6 +64,7 @@
 #include "backends/seq.hpp"
 #include "backends/skeletons.hpp"
 #include "numa/first_touch_allocator.hpp"
+#include "pstlb/detail/simd/leaf.hpp"
 #include "pstlb/detail/sort_stats.hpp"
 #include "pstlb/env.hpp"
 #include "sched/arena.hpp"
@@ -114,6 +115,10 @@ struct samplesort_params {
   index_t bucket_cap = index_t{1} << 15;
   /// Samples per splitter. PSTLB_SORT_OVERSAMPLE.
   index_t oversample = 32;
+  /// par_unseq bit from the caller's policy: classify through the SIMD
+  /// splitter-search kernel (vectorized upper_bound) when type/comparator
+  /// eligibility and the active ISA allow it.
+  bool vector_classify = false;
 
   static samplesort_params from_env() {
     samplesort_params p;
@@ -235,6 +240,24 @@ void samplesort_segment(const B& be, SrcIt src, TmpIt tmp, index_t n,
         splitters.begin());
   };
 
+  // par_unseq: classification is the branchy half of the histogram and
+  // scatter passes — each element binary-searches the splitters. The plan
+  // replaces it with the SIMD kernel's branchless search (broadcast-count
+  // for small splitter sets, 4-way interleaved Eytzinger descent above
+  // that), emitting bucket ids blockwise into a cache-resident buffer.
+  // Disengaged (classic bucket_of) unless the policy set vector_classify,
+  // the keys are a covered contiguous type, and comp is std::less.
+  constexpr bool vec_classify_ok = std::contiguous_iterator<SrcIt> &&
+                                   simd::detail::covered_elem_v<T> &&
+                                   simd::is_less_v<Compare, T>;
+  constexpr index_t classify_block = 512;
+  simd::classify_plan<T> vec_plan;
+  if constexpr (vec_classify_ok) {
+    vec_plan = simd::classify_plan<T>(splitters.data(),
+                                      static_cast<index_t>(splitters.size()),
+                                      params.vector_classify);
+  }
+
   // --- phase 1: per-chunk bucket histograms ---------------------------------
   const backends::chunk_table chunks(n, be.slots());
   const index_t chunk_count = chunks.count;
@@ -262,12 +285,32 @@ void samplesort_segment(const B& be, SrcIt src, TmpIt tmp, index_t n,
     backends::parallel_for(be, chunk_count, index_t{1},
                            [&](index_t cb, index_t ce, unsigned) {
       std::vector<index_t> local(static_cast<std::size_t>(bucket_count));
+      std::vector<std::uint32_t> ids;
+      if (vec_plan.engaged()) {
+        ids.resize(static_cast<std::size_t>(classify_block));
+      }
       for (index_t c = cb; c < ce; ++c) {
         std::fill(local.begin(), local.end(), index_t{0});
         index_t b = 0;
         index_t e = 0;
         chunks.bounds(c, b, e);
-        for (index_t i = b; i < e; ++i) { ++local[static_cast<std::size_t>(bucket_of(src[i]))]; }
+        bool counted = false;
+        if constexpr (vec_classify_ok) {
+          if (vec_plan.engaged()) {
+            const T* keys = std::to_address(src);
+            for (index_t i = b; i < e; i += classify_block) {
+              const index_t len = std::min(classify_block, e - i);
+              vec_plan.run(keys + i, len, ids.data());
+              for (index_t j = 0; j < len; ++j) {
+                ++local[static_cast<std::size_t>(ids[static_cast<std::size_t>(j)])];
+              }
+            }
+            counted = true;
+          }
+        }
+        if (!counted) {
+          for (index_t i = b; i < e; ++i) { ++local[static_cast<std::size_t>(bucket_of(src[i]))]; }
+        }
         for (index_t bk = 0; bk < bucket_count; ++bk) {
           hist[static_cast<std::size_t>(bk * chunk_count + c)] =
               local[static_cast<std::size_t>(bk)];
@@ -318,6 +361,10 @@ void samplesort_segment(const B& be, SrcIt src, TmpIt tmp, index_t n,
     backends::parallel_for(be, chunk_count, index_t{1},
                            [&](index_t cb, index_t ce, unsigned) {
       std::vector<index_t> cursor(static_cast<std::size_t>(bucket_count));
+      std::vector<std::uint32_t> ids;
+      if (vec_plan.engaged()) {
+        ids.resize(static_cast<std::size_t>(classify_block));
+      }
       for (index_t c = cb; c < ce; ++c) {
         for (index_t bk = 0; bk < bucket_count; ++bk) {
           cursor[static_cast<std::size_t>(bk)] =
@@ -326,6 +373,21 @@ void samplesort_segment(const B& be, SrcIt src, TmpIt tmp, index_t n,
         index_t b = 0;
         index_t e = 0;
         chunks.bounds(c, b, e);
+        if constexpr (vec_classify_ok) {
+          if (vec_plan.engaged()) {
+            const T* keys = std::to_address(src);
+            for (index_t i = b; i < e; i += classify_block) {
+              const index_t len = std::min(classify_block, e - i);
+              vec_plan.run(keys + i, len, ids.data());
+              for (index_t j = 0; j < len; ++j) {
+                auto& slot = cursor[static_cast<std::size_t>(
+                    ids[static_cast<std::size_t>(j)])];
+                tmp[slot++] = std::move(src[i + j]);
+              }
+            }
+            continue;
+          }
+        }
         for (index_t i = b; i < e; ++i) {
           auto& slot = cursor[static_cast<std::size_t>(bucket_of(src[i]))];
           tmp[slot++] = std::move(src[i]);
@@ -432,7 +494,10 @@ template <bool Stable, backends::Backend B, class Policy, class It,
 bool parallel_samplesort(const B& be, const Policy& policy, It first,
                          index_t n, Compare comp) {
   using T = typename std::iterator_traits<It>::value_type;
-  const samplesort_params params = samplesort_params::from_env();
+  samplesort_params params = samplesort_params::from_env();
+  if constexpr (requires { policy.unseq; }) {
+    params.vector_classify = policy.unseq;
+  }
   using alloc_t = numa::first_touch_allocator<T, std::decay_t<Policy>>;
   // optional-wrapped so the fallback needs no allocator move-assignment;
   // the oom:p fault hook fires inside the allocator's tracked allocation.

@@ -1,0 +1,158 @@
+// Scalar kernel table and the level -> table dispatcher.
+//
+// The scalar kernels are deliberately plain left-fold loops compiled under
+// the baseline flags: they define the reference semantics the differential
+// tests compare every vector table against, on every host (including
+// non-x86, where they are the only compiled table).
+#include "pstlb/detail/simd/kernels.hpp"
+
+#include <algorithm>
+
+#include "pstlb/detail/simd/isa.hpp"
+
+namespace pstlb::simd {
+namespace {
+namespace scalar_impl {
+
+template <class T>
+T reduce_sum_k(const T* p, index_t n) {
+  T total = T(0);
+  for (index_t i = 0; i < n; ++i) { total += p[i]; }
+  return total;
+}
+
+template <class T>
+T reduce_min_k(const T* p, index_t n) {
+  T best = p[0];
+  for (index_t i = 1; i < n; ++i) { best = p[i] < best ? p[i] : best; }
+  return best;
+}
+
+template <class T>
+T reduce_max_k(const T* p, index_t n) {
+  T best = p[0];
+  for (index_t i = 1; i < n; ++i) { best = best < p[i] ? p[i] : best; }
+  return best;
+}
+
+template <class T>
+index_t min_index_k(const T* p, index_t n) {
+  index_t best = 0;
+  for (index_t i = 1; i < n; ++i) {
+    if (p[i] < p[best]) { best = i; }
+  }
+  return best;
+}
+
+template <class T>
+index_t max_index_k(const T* p, index_t n) {
+  index_t best = 0;
+  for (index_t i = 1; i < n; ++i) {
+    if (p[best] < p[i]) { best = i; }
+  }
+  return best;
+}
+
+template <class T>
+index_t find_eq_k(const T* p, index_t n, T v) {
+  for (index_t i = 0; i < n; ++i) {
+    if (p[i] == v) { return i; }
+  }
+  return n;
+}
+
+template <class T>
+index_t count_eq_k(const T* p, index_t n, T v) {
+  index_t count = 0;
+  for (index_t i = 0; i < n; ++i) { count += (p[i] == v) ? 1 : 0; }
+  return count;
+}
+
+template <class T>
+T dot_k(const T* a, const T* b, index_t n) {
+  T total = T(0);
+  for (index_t i = 0; i < n; ++i) { total += a[i] * b[i]; }
+  return total;
+}
+
+template <class T>
+void add_k(const T* a, const T* b, T* out, index_t n) {
+  for (index_t i = 0; i < n; ++i) { out[i] = a[i] + b[i]; }
+}
+
+template <class T>
+void sub_k(const T* a, const T* b, T* out, index_t n) {
+  for (index_t i = 0; i < n; ++i) { out[i] = a[i] - b[i]; }
+}
+
+template <class T>
+void mul_k(const T* a, const T* b, T* out, index_t n) {
+  for (index_t i = 0; i < n; ++i) { out[i] = a[i] * b[i]; }
+}
+
+template <class T>
+void negate_k(const T* a, T* out, index_t n) {
+  for (index_t i = 0; i < n; ++i) { out[i] = static_cast<T>(T(0) - a[i]); }
+}
+
+template <class T>
+void classify_k(const T* keys, index_t n, const T* sorted, index_t n_s,
+                const T* tree, int levels, std::uint32_t* out) {
+  (void)tree;
+  (void)levels;
+  for (index_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint32_t>(
+        std::upper_bound(sorted, sorted + n_s, keys[i]) - sorted);
+  }
+}
+
+template <class T>
+void fill_set(kernel_set<T>& s) {
+  s.lanes = 1;
+  s.reduce_sum = &reduce_sum_k<T>;
+  s.reduce_min = &reduce_min_k<T>;
+  s.reduce_max = &reduce_max_k<T>;
+  s.min_index = &min_index_k<T>;
+  s.max_index = &max_index_k<T>;
+  s.find_eq = &find_eq_k<T>;
+  s.count_eq = &count_eq_k<T>;
+  s.dot = &dot_k<T>;
+  s.add = &add_k<T>;
+  s.sub = &sub_k<T>;
+  s.mul = &mul_k<T>;
+  s.negate = &negate_k<T>;
+  s.classify = &classify_k<T>;
+}
+
+kernel_table make_table() {
+  kernel_table t;
+  t.name = "scalar";
+  t.compiled = true;
+  fill_set(t.f32);
+  fill_set(t.f64);
+  fill_set(t.i32);
+  fill_set(t.i64);
+  fill_set(t.u32);
+  fill_set(t.u64);
+  return t;
+}
+
+}  // namespace scalar_impl
+}  // namespace
+
+const kernel_table& scalar_table() {
+  static const kernel_table t = scalar_impl::make_table();
+  return t;
+}
+
+const kernel_table& table_for(isa level) {
+  switch (level) {
+    case isa::scalar: return scalar_table();
+    case isa::sse2: return sse2_table();
+    case isa::avx2: return avx2_table();
+    case isa::avx512: return avx512_table();
+  }
+  return scalar_table();
+}
+
+}  // namespace pstlb::simd

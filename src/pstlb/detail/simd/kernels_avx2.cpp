@@ -1,0 +1,28 @@
+// AVX2-level kernel table: 32-byte vectors. This TU is compiled with
+// -mavx2 -mfma (see src/CMakeLists.txt); the __AVX2__ guard keeps the build
+// honest if the flags are missing (non-x86 target), producing a stub table
+// instead of silently compiling 32-byte vectors to unpacked scalar code.
+#include "pstlb/detail/simd/kernels.hpp"
+
+#if defined(__x86_64__) && defined(__GNUC__) && defined(__AVX2__)
+
+#define PSTLB_SIMD_VBYTES 32
+#include "pstlb/detail/simd/kernels_impl.hpp"
+
+namespace pstlb::simd {
+const kernel_table& avx2_table() {
+  static const kernel_table t = impl::make_table("avx2");
+  return t;
+}
+}  // namespace pstlb::simd
+
+#else
+
+namespace pstlb::simd {
+const kernel_table& avx2_table() {
+  static const kernel_table t;
+  return t;
+}
+}  // namespace pstlb::simd
+
+#endif

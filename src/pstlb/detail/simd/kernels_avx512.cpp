@@ -1,0 +1,27 @@
+// AVX-512-level kernel table: 64-byte vectors. Compiled with
+// -mavx512f -mavx512bw -mavx512dq -mavx512vl (see src/CMakeLists.txt); the
+// __AVX512F__ guard yields a stub table when the flags are absent.
+#include "pstlb/detail/simd/kernels.hpp"
+
+#if defined(__x86_64__) && defined(__GNUC__) && defined(__AVX512F__)
+
+#define PSTLB_SIMD_VBYTES 64
+#include "pstlb/detail/simd/kernels_impl.hpp"
+
+namespace pstlb::simd {
+const kernel_table& avx512_table() {
+  static const kernel_table t = impl::make_table("avx512");
+  return t;
+}
+}  // namespace pstlb::simd
+
+#else
+
+namespace pstlb::simd {
+const kernel_table& avx512_table() {
+  static const kernel_table t;
+  return t;
+}
+}  // namespace pstlb::simd
+
+#endif

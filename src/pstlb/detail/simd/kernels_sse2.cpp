@@ -1,0 +1,27 @@
+// SSE2-level kernel table: 16-byte vectors, part of the x86-64 baseline so
+// no extra -m flags are needed. Non-x86 / non-GNU targets get an
+// uncompiled stub table (dispatch then tops out at scalar).
+#include "pstlb/detail/simd/kernels.hpp"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+#define PSTLB_SIMD_VBYTES 16
+#include "pstlb/detail/simd/kernels_impl.hpp"
+
+namespace pstlb::simd {
+const kernel_table& sse2_table() {
+  static const kernel_table t = impl::make_table("sse2");
+  return t;
+}
+}  // namespace pstlb::simd
+
+#else
+
+namespace pstlb::simd {
+const kernel_table& sse2_table() {
+  static const kernel_table t;
+  return t;
+}
+}  // namespace pstlb::simd
+
+#endif

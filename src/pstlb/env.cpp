@@ -51,13 +51,17 @@ const std::vector<std::string_view>& known_vars() {
       "PSTLB_NUMA_SCATTER",       // 0 disables node-affine samplesort scatter
       "PSTLB_SCAN_CHUNK",         // scan skeleton: min elements per chunk
       "PSTLB_SCAN_OVERSUB",       // scan skeleton: chunks per slot
+      "PSTLB_SIMD",               // leaf ISA cap: auto|scalar|sse2|avx2|avx512
+      "PSTLB_SIMD_VERBOSE",       // print the selected-ISA report line
       "PSTLB_SORT",               // sort pipeline override: sample | merge
       "PSTLB_SORT_BUCKET_CAP",    // samplesort: target max bucket elements
       "PSTLB_SORT_OVERSAMPLE",    // samplesort: splitter oversampling factor
+      "PSTLB_SRV_ARRIVAL",        // srv_throughput: open:<rate> open-loop mode
       "PSTLB_STATS",              // per-call latency stats registry on/off
       "PSTLB_STATS_BUDGET_NS",    // stats-overhead microbench ns/call budget
       "PSTLB_STATS_FILE",         // stats registry JSON export path
       "PSTLB_STEAL_LOCALITY",     // 0 disables locality-first steal ordering
+      "PSTLB_TAB4_SIMD_LOG2",     // tab4_simd native leg: log2 input size
       "PSTLB_TOPOLOGY",           // auto | flat | NxLxC[xS] synthetic spec
       "PSTLB_TRACE",              // scheduler tracing on/off
       "PSTLB_TRACE_FILE",         // Chrome-trace/Perfetto JSON export path

@@ -49,6 +49,13 @@ inline unsigned default_threads() {
 
 struct seq_policy {};
 
+/// Sequential execution with vectorized leaves (std::execution::unseq
+/// analogue): one thread, but eligible inner loops run through the
+/// runtime-dispatched SIMD kernel tables (detail/simd/). Reduction results
+/// over floating point may reassociate relative to seq's left fold — the
+/// same licence std::execution::unseq grants.
+struct unseq_policy {};
+
 /// Which scan/pack skeleton a parallel policy uses (see DESIGN.md "Scan
 /// skeletons: two-pass vs decoupled lookback").
 enum class scan_skeleton {
@@ -100,6 +107,11 @@ struct parallel_policy_base {
   /// skeleton; profiles that model backends without a chained scan
   /// (NVC-OMP) pin this to two_pass in their constructor.
   scan_skeleton scan = scan_skeleton::single_pass;
+  /// par_unseq bit: when set, eligible leaves run the runtime-dispatched
+  /// SIMD kernels (detail/simd/) instead of the classic element loop. Rides
+  /// the policy value through arena admission and backend selection
+  /// unchanged — vectorization is purely a leaf-level property.
+  bool unseq = false;
 };
 }  // namespace detail
 
@@ -154,6 +166,7 @@ struct task_policy : detail::parallel_policy_base {
 
 /// Ready-made instances in the spirit of std::execution::seq / par.
 inline constexpr seq_policy seq{};
+inline constexpr unseq_policy unseq{};
 
 template <class P>
 struct policy_traits;
@@ -188,11 +201,39 @@ template <class P>
 inline constexpr bool is_seq_policy_v = std::is_same_v<std::decay_t<P>, seq_policy>;
 
 template <class P>
+inline constexpr bool is_unseq_policy_v =
+    std::is_same_v<std::decay_t<P>, unseq_policy>;
+
+template <class P>
 concept ParallelPolicy =
     std::is_base_of_v<detail::parallel_policy_base, std::decay_t<P>>;
 
 template <class P>
-concept ExecutionPolicy = ParallelPolicy<P> || is_seq_policy_v<P>;
+concept ExecutionPolicy =
+    ParallelPolicy<P> || is_seq_policy_v<P> || is_unseq_policy_v<P>;
+
+/// True when `policy` licences SIMD leaves: unseq itself, or any parallel
+/// policy with the par_unseq bit set. Front-ends pass this to
+/// simd::leaf_for as the runtime half of the vectorization gate.
+template <class P>
+constexpr bool wants_vector_leaf(const P& policy) {
+  if constexpr (is_unseq_policy_v<P>) {
+    return true;
+  } else if constexpr (ParallelPolicy<P>) {
+    return policy.unseq;
+  } else {
+    (void)policy;
+    return false;
+  }
+}
+
+/// Copy of `policy` with the par_unseq bit set (std::execution::par_unseq
+/// analogue for any parallel policy: pstlb::exec::with_unseq(steal_policy{8})).
+template <ParallelPolicy P>
+constexpr std::decay_t<P> with_unseq(P policy) {
+  policy.unseq = true;
+  return policy;
+}
 
 template <class It>
 inline constexpr bool random_access_v =
@@ -245,7 +286,8 @@ decltype(auto) dispatch(const PolicyRef& policy, index_t n, SeqFn&& seq_fn,
   requires ExecutionPolicy<std::decay_t<PolicyRef>>
 {
   using Policy = std::decay_t<PolicyRef>;
-  if constexpr (is_seq_policy_v<Policy> || !all_random_access_v<Its...>) {
+  if constexpr (is_seq_policy_v<Policy> || is_unseq_policy_v<Policy> ||
+                !all_random_access_v<Its...>) {
     (void)policy;
     (void)n;
     (void)par_fn;
@@ -303,3 +345,14 @@ decltype(auto) dispatch(const PolicyRef& policy, index_t n, SeqFn&& seq_fn,
 }
 
 }  // namespace pstlb::exec
+
+/// std::execution-shaped spelling of the four canonical policies.
+/// `par`/`par_unseq` are work-stealing (the paper's best-scaling backend);
+/// pick a concrete exec::*_policy directly to choose another backend, and
+/// exec::with_unseq to add vector leaves to it.
+namespace pstlb::execution {
+inline constexpr exec::seq_policy seq{};
+inline constexpr exec::unseq_policy unseq{};
+inline const exec::steal_policy par{};
+inline const exec::steal_policy par_unseq = exec::with_unseq(exec::steal_policy{});
+}  // namespace pstlb::execution

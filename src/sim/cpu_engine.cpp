@@ -213,6 +213,13 @@ engine_result simulate_cpu(const engine_config& config) {
                     remote_frac / std::max(0.05, m.remote_bw_factor);
   }
 
+  // Effective SIMD lanes: the profile's calibrated lane count scaled by the
+  // machine's vector-width multiplier (1.0 on every stock machine, so all
+  // existing calibrations are untouched; tab4_simd sweeps it to model
+  // scalar/SSE2/AVX2/AVX-512 builds of the same kernel).
+  const unsigned eff_lanes = static_cast<unsigned>(std::max<long long>(
+      1, std::llround(static_cast<double>(tune.vector_lanes) * m.vector_width)));
+
   double total_s = 0;
   result.phases.reserve(phases.size());
   for (const phase& ph : phases) {
@@ -223,7 +230,7 @@ engine_result simulate_cpu(const engine_config& config) {
     const double elems = ph.elems * exec_frac;
     if (elems <= 0) { continue; }
 
-    const double cpe = cycles_per_elem(ph, tune.vector_lanes);
+    const double cpe = cycles_per_elem(ph, eff_lanes);
     double bytes_per_elem = (ph.reads_per_elem + ph.writes_per_elem) * tune.traffic_mult;
     if (spread && custom_alloc) { bytes_per_elem *= tune.first_touch_penalty; }
     const memory_tier tier =
@@ -293,9 +300,11 @@ engine_result simulate_cpu(const engine_config& config) {
   result.ctrs.instructions = n * tune.instr_per_elem;
   double flops = 0;
   for (const phase& ph : phases) { flops += ph.elems * ph.executed_fraction * ph.flops_per_elem; }
-  if (tune.vector_lanes >= 4) {
+  if (eff_lanes >= 8) {
+    result.ctrs.fp_512 = flops / 8.0;
+  } else if (eff_lanes >= 4) {
     result.ctrs.fp_256 = flops / 4.0;
-  } else if (tune.vector_lanes == 2) {
+  } else if (eff_lanes == 2) {
     result.ctrs.fp_128 = flops / 2.0;
   } else {
     result.ctrs.fp_scalar = flops;

@@ -40,6 +40,11 @@ struct machine {
   /// drop under all-core load, SMT arbitration): Table 5's k_it = 1000
   /// column tops out at ~0.8-0.86 of ideal on the big machines.
   double par_compute_eff = 1.0;
+  /// SIMD width multiplier on the backend profile's vector_lanes: 1.0
+  /// leaves every existing calibration bit-identical; the tab4_simd bench
+  /// sweeps {0.25, 0.5, 1.0, 2.0} to model scalar/SSE2/AVX2/AVX-512 builds
+  /// of the same kernels (effective lanes of 8+ retire as fp_512).
+  double vector_width = 1.0;
 
   unsigned cores_per_node() const { return cores / numa_nodes; }
   double node_bw_gbs() const { return bwall_gbs / numa_nodes; }
