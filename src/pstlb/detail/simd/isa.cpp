@@ -87,9 +87,13 @@ isa detect_max() {
 }
 
 isa compiled_max() {
-  if (table_for(isa::avx512).compiled) { return isa::avx512; }
-  if (table_for(isa::avx2).compiled) { return isa::avx2; }
-  if (table_for(isa::sse2).compiled) { return isa::sse2; }
+  // Answered from the per-TU data flags, never by calling the table
+  // accessors: constructing e.g. avx512_table()'s static table executes
+  // AVX instructions on the way (the TU is built with -mavx512*), which
+  // would SIGILL right here during clamping on any host below that level.
+  if (avx512_compiled) { return isa::avx512; }
+  if (avx2_compiled) { return isa::avx2; }
+  if (sse2_compiled) { return isa::sse2; }
   return isa::scalar;
 }
 

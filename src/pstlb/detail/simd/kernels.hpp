@@ -58,7 +58,8 @@ struct kernel_set {
   /// keys[i]) rank under std::less. Small splitter sets use a vectorized
   /// count of (sorted[j] <= key) over the sorted array directly; larger
   /// ones descend `tree`, an Eytzinger-layout copy of (2^levels - 1)
-  /// entries padded with the type's maximum (see leaf.hpp classify_plan).
+  /// entries padded with +infinity for floating-point types / the type's
+  /// maximum for integers (see leaf.hpp classify_plan).
   void (*classify)(const T* keys, index_t n, const T* sorted, index_t n_s,
                    const T* tree, int levels, std::uint32_t* out) = nullptr;
 };
@@ -84,11 +85,23 @@ struct kernel_table {
 const kernel_table& table_for(isa level);
 
 /// Per-level table accessors (each defined in its own translation unit so
-/// its -m flags never leak into shared code).
+/// its -m flags never leak into shared code). Only call these for levels
+/// <= the clamped active level: constructing a level's static table runs
+/// code compiled under that level's -m flags, which SIGILLs on hosts below
+/// it (GCC emits e.g. AVX moves even in the table-building glue).
 const kernel_table& scalar_table();
 const kernel_table& sse2_table();
 const kernel_table& avx2_table();
 const kernel_table& avx512_table();
+
+/// Per-level "was this table compiled" flags: constant-initialized data
+/// objects defined in each level's translation unit from its preprocessor
+/// state. ISA resolution (isa.cpp compiled_max / clamp) reads these instead
+/// of calling the accessors above, so answering "what did this build
+/// compile?" never executes ISA-flagged instructions.
+extern const bool sse2_compiled;
+extern const bool avx2_compiled;
+extern const bool avx512_compiled;
 
 namespace detail {
 /// True for element types the kernel tables cover.

@@ -10,6 +10,7 @@
 #include "pstlb/detail/simd/kernels_impl.hpp"
 
 namespace pstlb::simd {
+const bool avx2_compiled = true;
 const kernel_table& avx2_table() {
   static const kernel_table t = impl::make_table("avx2");
   return t;
@@ -19,6 +20,7 @@ const kernel_table& avx2_table() {
 #else
 
 namespace pstlb::simd {
+const bool avx2_compiled = false;
 const kernel_table& avx2_table() {
   static const kernel_table t;
   return t;

@@ -9,6 +9,7 @@
 #include "pstlb/detail/simd/kernels_impl.hpp"
 
 namespace pstlb::simd {
+const bool avx512_compiled = true;
 const kernel_table& avx512_table() {
   static const kernel_table t = impl::make_table("avx512");
   return t;
@@ -18,6 +19,7 @@ const kernel_table& avx512_table() {
 #else
 
 namespace pstlb::simd {
+const bool avx512_compiled = false;
 const kernel_table& avx512_table() {
   static const kernel_table t;
   return t;

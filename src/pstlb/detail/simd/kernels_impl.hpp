@@ -212,13 +212,19 @@ index_t count_eq_k(const T* p, index_t n, T v) {
   constexpr index_t L = P::lanes;
   const typename P::vec needle = P::broadcast(v);
   // Matching lanes contribute -1; accumulate the negated mask so each lane
-  // counts its own hits (lane counters are at least 32-bit, and per-lane
-  // hits are bounded by n / lanes — no overflow for any real input).
-  typename P::mask acc = P::zero_mask();
-  index_t i = 0;
-  for (; i + L <= n; i += L) { acc -= (P::load(p + i) == needle); }
+  // counts its own hits. Lane counters are element-width (int32 for 32-bit
+  // types), so flush into the 64-bit total every 2^30 vector iterations —
+  // without the blocked outer loop, all-equal inputs above ~2^31 * lanes
+  // elements would wrap the per-lane counters and return a wrong count.
+  constexpr index_t flush_block = (index_t{1} << 30) * L;  // elements
   index_t count = 0;
-  for (index_t k = 0; k < L; ++k) { count += static_cast<index_t>(acc[k]); }
+  index_t i = 0;
+  while (i + L <= n) {
+    const index_t block_end = n - i < flush_block ? n : i + flush_block;
+    typename P::mask acc = P::zero_mask();
+    for (; i + L <= block_end; i += L) { acc -= (P::load(p + i) == needle); }
+    for (index_t k = 0; k < L; ++k) { count += static_cast<index_t>(acc[k]); }
+  }
   for (; i < n; ++i) { count += (p[i] == v) ? 1 : 0; }
   return count;
 }
@@ -300,8 +306,9 @@ void negate_k(const T* a, T* out, index_t n) {
 /// upper_bound rank of one key against the padded Eytzinger tree:
 /// branchless descent k -> 2k + 1 + (tree[k] <= x) over `levels` levels;
 /// final rank = k - (2^levels - 1) counts the padded entries <= x, and
-/// clamping to n_s removes the max-padding (only reachable when x equals
-/// the type maximum, where every real splitter is <= x anyway).
+/// clamping to n_s removes the padding (only reachable when x equals the
+/// padding value — +inf for floats, the type maximum for integers — where
+/// every real splitter is <= x anyway).
 template <class T>
 inline index_t eytzinger_rank(const T* tree, int levels, index_t tree_size,
                               index_t n_s, T x) {

@@ -91,8 +91,11 @@ const kernel_set<T>* leaf_for(bool wanted) {
 
 /// Precomputed state for vectorized bucket classification: the sorted
 /// splitter array (borrowed — must outlive the plan) plus an
-/// Eytzinger-layout copy padded to a complete tree with the type's maximum,
-/// which the large-splitter kernel path descends branchlessly. Disengaged
+/// Eytzinger-layout copy padded to a complete tree with a value no key can
+/// exceed (+infinity for floating-point types — the finite max() would sort
+/// below an infinite splitter and break the descent's monotonicity — the
+/// type's maximum for integers), which the large-splitter kernel path
+/// descends branchlessly. Disengaged
 /// (engaged() == false) when the policy/ISA/type gate fails; callers then
 /// use their classic comparison-based bucket_of.
 template <class T>
@@ -110,8 +113,13 @@ class classify_plan {
     if (s == nullptr || s->classify == nullptr) { return; }
     levels_ = 0;
     while (((index_t{1} << levels_) - 1) < n_s) { ++levels_; }
-    tree_.assign(static_cast<std::size_t>((index_t{1} << levels_) - 1),
-                 std::numeric_limits<T>::max());
+    // Pad above any representable splitter: +inf for floats keeps the
+    // in-order sequence sorted even when the data (and thus a sampled
+    // splitter) contains infinities; max() is only finite-type-correct.
+    constexpr T pad = std::numeric_limits<T>::has_infinity
+                          ? std::numeric_limits<T>::infinity()
+                          : std::numeric_limits<T>::max();
+    tree_.assign(static_cast<std::size_t>((index_t{1} << levels_) - 1), pad);
     fill_inorder(sorted, n_s);
     sorted_ = sorted;
     n_s_ = n_s;

@@ -227,38 +227,51 @@ TEST(SimdKernels, TransformsMatchScalarAllTypes) {
 template <class T>
 void check_classify() {
   isa_guard guard;
+  // Top-splitter values that stress the Eytzinger padding: the type's
+  // maximum (collides with the integer padding value) and, for floats,
+  // +infinity — legal data samplesort can sample as a splitter, which the
+  // padding must still sort at-or-above.
+  std::vector<T> tops = {std::numeric_limits<T>::max()};
+  if constexpr (std::numeric_limits<T>::has_infinity) {
+    tops.push_back(std::numeric_limits<T>::infinity());
+  }
   for (simd::isa level : runnable_vector_levels()) {
     if (simd::force(level) != level) { continue; }
     for (index_t n_s : {index_t{1}, index_t{2}, index_t{3}, index_t{15},
                         index_t{16}, index_t{24}, index_t{25}, index_t{31},
                         index_t{33}, index_t{100}, index_t{1000}}) {
-      std::vector<T> splitters(static_cast<std::size_t>(n_s));
-      for (index_t i = 0; i < n_s; ++i) {
-        splitters[static_cast<std::size_t>(i)] = static_cast<T>(i * 5);
-      }
-      // Include the type's maximum as a splitter occasionally: it collides
-      // with the Eytzinger padding value and must still classify correctly.
-      if (n_s > 2) {
-        splitters.back() = std::numeric_limits<T>::max();
-      }
-      simd::classify_plan<T> plan(splitters.data(), n_s, true);
-      if (!plan.engaged()) { continue; }
-      const index_t n = 257;
-      auto keys = pattern_data<T>(n, 0);
-      // Also probe exact splitter values (upper_bound ties).
-      for (index_t i = 0; i < std::min(n, n_s); ++i) {
-        keys[static_cast<std::size_t>(2 * i % n)] =
-            splitters[static_cast<std::size_t>(i)];
-      }
-      std::vector<std::uint32_t> got(static_cast<std::size_t>(n));
-      plan.run(keys.data(), n, got.data());
-      for (index_t i = 0; i < n; ++i) {
-        const auto expect = static_cast<std::uint32_t>(
-            std::upper_bound(splitters.begin(), splitters.end(),
-                             keys[static_cast<std::size_t>(i)]) -
-            splitters.begin());
-        ASSERT_EQ(got[static_cast<std::size_t>(i)], expect)
-            << "level=" << simd::name(level) << " n_s=" << n_s << " i=" << i;
+      for (T top : tops) {
+        std::vector<T> splitters(static_cast<std::size_t>(n_s));
+        for (index_t i = 0; i < n_s; ++i) {
+          splitters[static_cast<std::size_t>(i)] = static_cast<T>(i * 5);
+        }
+        if (n_s > 2) { splitters.back() = top; }
+        simd::classify_plan<T> plan(splitters.data(), n_s, true);
+        if (!plan.engaged()) { continue; }
+        const index_t n = 257;
+        auto keys = pattern_data<T>(n, 0);
+        // Also probe exact splitter values (upper_bound ties).
+        for (index_t i = 0; i < std::min(n, n_s); ++i) {
+          keys[static_cast<std::size_t>(2 * i % n)] =
+              splitters[static_cast<std::size_t>(i)];
+        }
+        // And the extreme keys: max() sits in [max, inf) where a
+        // finite-padded float tree would misrank against an inf splitter.
+        keys[0] = std::numeric_limits<T>::max();
+        if constexpr (std::numeric_limits<T>::has_infinity) {
+          keys[1] = std::numeric_limits<T>::infinity();
+        }
+        std::vector<std::uint32_t> got(static_cast<std::size_t>(n));
+        plan.run(keys.data(), n, got.data());
+        for (index_t i = 0; i < n; ++i) {
+          const auto expect = static_cast<std::uint32_t>(
+              std::upper_bound(splitters.begin(), splitters.end(),
+                               keys[static_cast<std::size_t>(i)]) -
+              splitters.begin());
+          ASSERT_EQ(got[static_cast<std::size_t>(i)], expect)
+              << "level=" << simd::name(level) << " n_s=" << n_s
+              << " top=" << +top << " i=" << i;
+        }
       }
     }
   }
@@ -395,6 +408,13 @@ TEST(SimdPolicy, SamplesortParUnseqSorts) {
       for (auto& x : v) {
         state = state * 6364136223846793005ull + 1442695040888963407ull;
         x = static_cast<double>(state >> 40);
+      }
+      // Sprinkle infinities: legal float input that may be sampled as a
+      // splitter (regression: finite Eytzinger padding misranked keys at
+      // or above the type maximum).
+      for (std::size_t i = 7; i < v.size(); i += 97) {
+        v[i] = (i % 2) != 0 ? std::numeric_limits<double>::infinity()
+                            : -std::numeric_limits<double>::infinity();
       }
       auto expect = v;
       std::sort(expect.begin(), expect.end());
